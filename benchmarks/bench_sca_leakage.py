@@ -1,0 +1,90 @@
+"""§IV-B.2 — side-channel assessment of the countermeasure.
+
+The paper claims the scheme "does not inherently leak side-channel
+information" and "does not open up any additional side channel
+vulnerability".  This bench runs the TVLA-style λ-leakage assessment at
+full trace count and prints the verdict table; the asserted findings:
+
+- the encoding bit λ is invisible to a Hamming-distance (dynamic power)
+  adversary — *exactly*, not just statistically;
+- whole-chip Hamming weight is also blind, because the complementary cores
+  balance each other (HW(x) + HW(x̄) = const) — a dual-rail-style bonus;
+- a *localised* HW probe on one core does see λ, as does the cycle-0
+  reset-load transition under HD — the residual vectors an implementer
+  should know about (EXPERIMENTS.md discusses mitigations).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import build_three_in_one
+from repro.evaluation import render_table
+from repro.netlist.gates import GateType
+from repro.rng import make_rng, random_ints
+from repro.sca import LeakageModel, max_abs_t, power_trace
+from repro.sca.ttest import TVLA_THRESHOLD
+
+KEY = 0x13579BDF02468ACE1122
+# NOTE: the cycle-0 reset-load HD leak scales with |HW(round-1 state) − 32|,
+# so the fixed plaintext is chosen to make that weight skewed (35 for this
+# key); a balanced plaintext would null that single sample by luck.
+FIXED_PT = 0x5AF019C3B2487D6E
+N_TRACES = 500
+
+
+def run_assessment():
+    design = build_three_in_one(PresentSpec())
+    fixed = [FIXED_PT] * N_TRACES
+    rng = make_rng(2)
+    core_a = [
+        g.out
+        for g in design.circuit.gates
+        if g.gtype is GateType.DFF and g.tag.startswith("a/state")
+    ]
+
+    rows = []
+    # sanity: the model sees data at all
+    a = power_trace(design, fixed, KEY, rng=1)
+    b = power_trace(design, random_ints(rng, N_TRACES, 64), KEY, rng=2)
+    rows.append(["fixed-vs-random PT", "whole chip", "HD", max_abs_t(a, b)])
+
+    def lam_groups(model, nets):
+        l0 = power_trace(design, fixed, KEY, model=model, lambdas=[0] * N_TRACES,
+                         rng=3, nets=nets)
+        l1 = power_trace(design, fixed, KEY, model=model, lambdas=[1] * N_TRACES,
+                         rng=4, nets=nets)
+        return l0, l1
+
+    l0, l1 = lam_groups(LeakageModel.HAMMING_DISTANCE, None)
+    rows.append(["λ=0 vs λ=1", "whole chip", "HD", max_abs_t(l0, l1)])
+    l0, l1 = lam_groups(LeakageModel.HAMMING_WEIGHT, None)
+    rows.append(["λ=0 vs λ=1", "whole chip", "HW", max_abs_t(l0, l1)])
+    l0, l1 = lam_groups(LeakageModel.HAMMING_DISTANCE, core_a)
+    rows.append(["λ=0 vs λ=1", "core-a probe", "HD cycles>=1", max_abs_t(l0[:, 1:], l1[:, 1:])])
+    rows.append(["λ=0 vs λ=1", "core-a probe", "HD cycle 0", max_abs_t(l0[:, :1], l1[:, :1])])
+    l0, l1 = lam_groups(LeakageModel.HAMMING_WEIGHT, core_a)
+    rows.append(["λ=0 vs λ=1", "core-a probe", "HW", max_abs_t(l0, l1)])
+    return rows
+
+
+def test_sca_lambda_leakage(benchmark, artifact_dir):
+    rows = benchmark.pedantic(run_assessment, rounds=1, iterations=1)
+    by_key = {(r[0], r[1], r[2]): r[3] for r in rows}
+
+    assert by_key[("fixed-vs-random PT", "whole chip", "HD")] > TVLA_THRESHOLD
+    assert by_key[("λ=0 vs λ=1", "whole chip", "HD")] < 1e-9
+    assert by_key[("λ=0 vs λ=1", "whole chip", "HW")] < 1e-9
+    assert by_key[("λ=0 vs λ=1", "core-a probe", "HD cycles>=1")] < 1e-9
+    assert by_key[("λ=0 vs λ=1", "core-a probe", "HD cycle 0")] > TVLA_THRESHOLD
+    assert by_key[("λ=0 vs λ=1", "core-a probe", "HW")] > TVLA_THRESHOLD
+
+    text = render_table(
+        ["experiment", "probe", "model", "max |t|"],
+        [[r[0], r[1], r[2], ("inf" if np.isinf(r[3]) else f"{r[3]:.1f}")] for r in rows],
+        title=(
+            f"TVLA λ-leakage assessment, {N_TRACES} traces/group "
+            f"(threshold {TVLA_THRESHOLD})"
+        ),
+    )
+    emit(artifact_dir, "sca_leakage.txt", text)

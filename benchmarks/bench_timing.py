@@ -1,0 +1,58 @@
+"""§IV-A latency claim — "the required number of clock periods would be
+essentially the same".
+
+Both designs take the same 31 cycles per block, so latency hinges on the
+clock period, i.e. the critical combinational path.  The bench prices both
+(plus the technology-mapped variants) with the normalised Nangate delay
+model and asserts the stretch stays modest (the merged S-box is exactly one
+Shannon variable deeper than the plain one).
+"""
+
+from benchmarks.conftest import emit
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import (
+    LambdaVariant,
+    build_naive_duplication,
+    build_three_in_one,
+    build_triplication,
+)
+from repro.evaluation import render_table
+from repro.tech.mapping import map_to_cells
+from repro.tech.timing import critical_path
+
+
+def run_timing():
+    spec = PresentSpec()
+    designs = [
+        ("naive_duplication", build_naive_duplication(spec)),
+        ("triplication", build_triplication(spec)),
+        ("three_in_one prime", build_three_in_one(spec)),
+        ("three_in_one per_sbox", build_three_in_one(spec, variant=LambdaVariant.PER_SBOX)),
+    ]
+    rows = []
+    for label, design in designs:
+        raw = critical_path(design.circuit)
+        mapped = critical_path(map_to_cells(design.circuit))
+        rows.append([label, raw.delay, mapped.delay, design.cycles])
+    return rows
+
+
+def test_timing(benchmark, artifact_dir):
+    rows = benchmark.pedantic(run_timing, rounds=1, iterations=1)
+    by_label = {r[0]: r for r in rows}
+
+    naive = by_label["naive_duplication"]
+    ours = by_label["three_in_one prime"]
+    # same cycle count...
+    assert ours[3] == naive[3] == 31
+    # ...and a clock-period stretch bounded by the one-variable-deeper S-box
+    assert 1.0 <= ours[1] / naive[1] <= 1.4
+    # triplication doesn't change the path either (it's wider, not deeper)
+    assert by_label["triplication"][1] / naive[1] < 1.1
+
+    text = render_table(
+        ["design", "critical path (NAND2-norm)", "after mapping", "cycles/block"],
+        rows,
+        title="Latency: critical path and cycle count per design",
+    )
+    emit(artifact_dir, "timing.txt", text)

@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one artefact of the paper's evaluation section
+and prints it in the paper's layout (run pytest with ``-s`` to see the
+artefacts inline; they are also written to ``benchmarks/out/``).
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_RUNS``
+    Fault-campaign size for the figure benchmarks.  Defaults to the
+    paper's 80,000 runs; set lower (e.g. 10000) for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "80000"))
+BENCH_KEY = 0x8F4E2D1C0B5A69783746
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return BENCH_RUNS
+
+
+def emit(artifact_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print an artefact and persist it under benchmarks/out/."""
+    print(f"\n{text}\n")
+    (artifact_dir / name).write_text(text + "\n")

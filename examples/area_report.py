@@ -1,0 +1,65 @@
+"""Regenerate the paper's area tables (Table II and Table III) and show
+the per-scheme cost landscape, including the baselines the paper positions
+itself against.
+
+Run:  python examples/area_report.py
+"""
+
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import (
+    LambdaVariant,
+    build_acisp20,
+    build_naive_duplication,
+    build_three_in_one,
+    build_triplication,
+)
+from repro.evaluation import render_table, table2, table3
+from repro.tech import area_of
+
+
+def main() -> None:
+    print(render_table(
+        ["design", "comb GE", "non-comb GE", "total GE", "ratio", "paper GE"],
+        [
+            [r.design, r.combinational, r.non_combinational, r.total,
+             f"{r.ratio:.2f}x", r.paper_total]
+            for r in table2()
+        ],
+        title="Table II: PRESENT-80 encryption (paper: 3096 -> 4097 GE, 1.32x)",
+    ))
+    print()
+    print(render_table(
+        ["countermeasure", "cipher", "total GE", "ratio", "paper GE"],
+        [
+            [r.countermeasure, r.cipher, r.total, f"{r.ratio:.2f}x", r.paper_total]
+            for r in table3()
+        ],
+        title="Table III: one duplicated S-box layer (paper: 2.3x / 1.8x)",
+    ))
+
+    # the wider landscape: every scheme in the library on PRESENT-80
+    spec = PresentSpec()
+    designs = [
+        ("naive duplication", build_naive_duplication(spec)),
+        ("triplication (SIFA baseline)", build_triplication(spec)),
+        ("ACISP'20", build_acisp20(spec)),
+        ("three-in-one prime", build_three_in_one(spec)),
+        ("three-in-one per-round", build_three_in_one(spec, variant=LambdaVariant.PER_ROUND)),
+        ("three-in-one per-sbox", build_three_in_one(spec, variant=LambdaVariant.PER_SBOX)),
+    ]
+    base = area_of(designs[0][1].circuit)
+    rows = []
+    for label, design in designs:
+        report = area_of(design.circuit)
+        rows.append([label, report.combinational, report.non_combinational,
+                     report.total, f"{report.total / base.total:.2f}x"])
+    print()
+    print(render_table(
+        ["scheme", "comb GE", "non-comb GE", "total GE", "vs naive dup"],
+        rows,
+        title="Scheme landscape (PRESENT-80, paper-calibrated Nangate 45nm GE)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

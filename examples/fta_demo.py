@@ -1,0 +1,61 @@
+"""Fault Template Attack (Eurocrypt'20) — the attack nobody had a
+countermeasure for before this paper.
+
+The adversary fixes the plaintext, flips one wire inside an S-box instance
+in round 1, and only watches whether the device's output changes.  Each
+wire is an oracle on the S-box's internal values; intersecting candidate
+sets over a few chosen plaintexts yields the round-1 key nibble — *without
+ever seeing a faulty ciphertext*, which is why duplication alone is
+helpless.  Randomised encoding breaks the templates.
+
+Run:  python examples/fta_demo.py
+"""
+
+from repro.attacks.fta import fta_attack, fta_key_recovery, fta_targets
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import build_naive_duplication, build_three_in_one
+
+KEY = 0xFEDCBA9876543210ABCD
+SBOX = 3
+PLAINTEXTS = [
+    0x5AF019C3B2487D6E,
+    0xC3A1905E7F2B6D84,
+    0x0F1E2D3C4B5A6978,
+    0x9182736455463728,
+]
+
+
+def main() -> None:
+    spec = PresentSpec()
+    for builder, label in (
+        (build_naive_duplication, "naive duplication"),
+        (build_three_in_one, "three-in-one countermeasure"),
+    ):
+        design = builder(spec)
+        n_wires = len(fta_targets(design.sbox_circuit))
+        print(f"=== {label} ({n_wires} target wires per S-box) ===")
+
+        # one template pass on the first plaintext, to show the raw signal
+        first = fta_attack(
+            design, sbox=SBOX, round_=1, plaintext=PLAINTEXTS[0],
+            key=KEY, n_rep=32, seed=7,
+        )
+        obs = ", ".join(f"{o:.2f}" for o in first.observations[:8])
+        print(f"per-wire effectiveness fractions (first 8): [{obs}, ...]")
+        print(f"S-box input candidates from one plaintext: {first.candidates} "
+              f"(true: {first.true_x})")
+
+        # full key-nibble recovery across chosen plaintexts
+        recovery = fta_key_recovery(
+            design, sbox=SBOX, plaintexts=PLAINTEXTS, key=KEY,
+            n_rep=32, seed=7,
+        )
+        print(
+            f"intersected key-nibble candidates: {sorted(recovery.candidates)} "
+            f"(true: 0x{recovery.true_key_nibble:x}) -> "
+            f"attack {'SUCCEEDED' if recovery.success else 'FAILED'}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Genericity demo: protect a cipher this library has never seen.
+
+The paper claims the countermeasure "is easily adaptable for any symmetric
+key primitive".  Here we define TOY16 — a 16-bit, 8-round SPN invented for
+this example — as an :class:`SpnSpec`, and the entire countermeasure stack
+(merged S-boxes, complementary-λ cores, comparator, fault campaign)
+applies unmodified.  GIFT-64 ships in the library as the serious version
+of this demo (`repro.ciphers.netlist_gift`).
+
+Run:  python examples/protect_your_own_cipher.py
+"""
+
+from repro.ciphers.sbox import SBox
+from repro.ciphers.spn import SpnSpec
+from repro.countermeasures import LambdaVariant, build_three_in_one
+from repro.faults import FaultSpec, FaultType, run_campaign
+from repro.faults.models import last_round, sbox_input_net
+from repro.rng import make_rng, random_ints
+
+# -- the cipher ------------------------------------------------------------
+
+TOY_SBOX = SBox([0x6, 0x5, 0xC, 0xA, 0x1, 0xE, 0x7, 0x9,
+                 0xB, 0x0, 0x3, 0xD, 0x8, 0xF, 0x4, 0x2], name="toy")
+#: bit i of the state moves to 4*(i % 4) + i // 4 (a 4x4 transpose)
+TOY_PERM = [4 * (i % 4) + i // 4 for i in range(16)]
+
+
+class Toy16(SpnSpec):
+    """16-bit SPN: addkey -> S-box layer -> transpose, 8 rounds + whitening.
+
+    The 32-bit key supplies alternating halves as round keys (a deliberately
+    simple schedule — the point is the wrapper, not the cipher).
+    """
+
+    name = "toy16"
+    block_bits = 16
+    key_bits = 32
+    rounds = 8
+    sbox = TOY_SBOX
+    perm = list(TOY_PERM)
+    add_key_first = True
+    final_whitening = True
+
+    def build_scheduler(self, builder, key_in, first, tag):
+        # round key alternates between the low and high key halves; a 1-bit
+        # phase register selects which one this cycle.
+        phase, connect = builder.register(1, tag=f"{tag}/phase")
+        connect([builder.not_(phase[0], tag=f"{tag}/phase")])
+        lo, hi = key_in[:16], key_in[16:]
+        return builder.mux_word(phase[0], lo, hi, tag=f"{tag}/rk")
+
+    def reference(self, key: int) -> "Toy16Reference":
+        return Toy16Reference(key)
+
+
+class Toy16Reference:
+    """Spec-level oracle with the interface the attack helpers expect."""
+
+    def __init__(self, key: int) -> None:
+        self.round_keys = [
+            (key >> 16) & 0xFFFF if r % 2 else key & 0xFFFF for r in range(9)
+        ]
+
+    def encrypt(self, pt: int) -> int:
+        state = pt
+        for rk in self.round_keys[:8]:
+            state ^= rk
+            state = sum(TOY_SBOX((state >> (4 * i)) & 0xF) << (4 * i) for i in range(4))
+            state = sum(((state >> i) & 1) << TOY_PERM[i] for i in range(16))
+        return state ^ self.round_keys[8]
+
+
+# -- protect it ------------------------------------------------------------
+
+
+def main() -> None:
+    spec = Toy16()
+    design = build_three_in_one(spec, variant=LambdaVariant.PER_ROUND)
+    print(f"protected TOY16: {design.circuit} (variant={design.variant})")
+
+    # fault-free equivalence against the reference
+    rng = make_rng(3)
+    key = 0xDEADBEEF
+    pts = random_ints(rng, 64, 16)
+    sim = design.simulator(64)
+    out = design.run(sim, pts, key, rng=rng)
+    ref = Toy16Reference(key)
+    cts = [sum(int(b) << i for i, b in enumerate(row)) for row in out["ciphertext"]]
+    assert cts == [ref.encrypt(p) for p in pts]
+    assert not out["fault"].any()
+    print("fault-free: 64/64 batched runs match the reference, flag low")
+
+    # and the countermeasure does its job on the new cipher, unchanged
+    core = design.cores[0]
+    fault = FaultSpec.at(
+        sbox_input_net(core, 2, 1), FaultType.STUCK_AT_0, last_round(core)
+    )
+    res = run_campaign(design, [fault], n_runs=4000, key=key, seed=5)
+    print(f"stuck-at-0 campaign on TOY16: {res.counts()}")
+    assert res.counts()["effective"] == 0
+    print("no faulty ciphertext ever released — countermeasure carried over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets ``python setup.py develop`` / legacy pip editable
+installs work; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

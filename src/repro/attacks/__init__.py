@@ -1,0 +1,35 @@
+"""Working attack implementations used to validate the countermeasures.
+
+The paper argues its scheme defeats three attack families; this package
+implements each family for real, so "protected" is demonstrated as *the
+key-recovery attack stops working*, not just as a distribution plot:
+
+- :mod:`repro.attacks.dfa` — classic last-round differential fault
+  analysis on PRESENT (nibble-key elimination via the S-box DDT);
+- :mod:`repro.attacks.selmke` — the FDTC'16 identical-fault-mask DFA that
+  defeats plain duplication [Selmke, Heyszl, Sigl];
+- :mod:`repro.attacks.sifa` — statistical ineffective fault analysis
+  (CHES'18): SEI-ranked subkey guesses over the ineffective set;
+- :mod:`repro.attacks.fta` — fault template attacks (Eurocrypt'20):
+  AND/OR-gate fault templates inside an S-box instance, matched against
+  observed effectiveness to recover S-box inputs;
+- :mod:`repro.attacks.metrics` — SEI, χ², and ranking helpers shared by
+  the above.
+"""
+
+from repro.attacks.metrics import chi_squared_uniform, sei
+from repro.attacks.sifa import sifa_attack
+from repro.attacks.dfa import dfa_attack_last_round
+from repro.attacks.pfa import pfa_attack
+from repro.attacks.selmke import selmke_attack
+from repro.attacks.fta import fta_attack
+
+__all__ = [
+    "chi_squared_uniform",
+    "dfa_attack_last_round",
+    "fta_attack",
+    "pfa_attack",
+    "sei",
+    "selmke_attack",
+    "sifa_attack",
+]

@@ -1,0 +1,61 @@
+"""Statistical machinery shared by the attack implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "chi_squared_uniform",
+    "distribution",
+    "rank_of",
+    "sei",
+]
+
+
+def distribution(values, size: int) -> np.ndarray:
+    """Empirical probability distribution of integer ``values`` over ``size`` bins."""
+    values = np.asarray(values, dtype=np.int64)
+    if len(values) == 0:
+        return np.full(size, 1.0 / size)
+    counts = np.bincount(values, minlength=size).astype(np.float64)
+    if len(counts) > size:
+        raise ValueError(f"value {values.max()} out of range for {size} bins")
+    return counts / counts.sum()
+
+
+def sei(values, size: int) -> float:
+    """Squared Euclidean Imbalance versus uniform — SIFA's ranking statistic.
+
+    ``SEI(p) = Σᵢ (pᵢ − 1/n)²``; zero for a perfectly uniform empirical
+    distribution, maximal (≈ 1 − 1/n) for a point mass.
+    """
+    p = distribution(values, size)
+    return float(((p - 1.0 / size) ** 2).sum())
+
+
+def chi_squared_uniform(values, size: int) -> tuple[float, int]:
+    """Pearson χ² statistic against the uniform distribution.
+
+    Returns ``(statistic, dof)``; under uniformity the statistic is
+    approximately χ²(size−1), so values far above ``size − 1 +
+    3·sqrt(2(size−1))`` indicate bias.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = len(values)
+    if n == 0:
+        return 0.0, size - 1
+    counts = np.bincount(values, minlength=size).astype(np.float64)
+    expected = n / size
+    stat = float(((counts - expected) ** 2 / expected).sum())
+    return stat, size - 1
+
+
+def rank_of(scores: dict[int, float], true_key: int, *, higher_is_better: bool = True) -> int:
+    """1-based rank of the true key among scored guesses (1 = recovered)."""
+    ordering = sorted(
+        scores.items(), key=lambda kv: kv[1], reverse=higher_is_better
+    )
+    for rank, (guess, _score) in enumerate(ordering, start=1):
+        if guess == true_key:
+            return rank
+    raise KeyError(f"true key {true_key} not among scored guesses")

@@ -1,0 +1,19 @@
+"""Cipher reference models and gate-level datapath generators.
+
+Each cipher appears twice:
+
+- a *reference* implementation (``present``, ``aes``, ``gift``) — pure
+  integer spec code, validated against published test vectors where those
+  exist; it is the oracle every netlist and countermeasure is tested
+  against;
+- a *netlist* generator (``netlist_present``, ``netlist_gift``,
+  ``netlist_sbox_layer``) — a round-iterative hardware datapath built on
+  :mod:`repro.netlist`, which is what the fault campaigns attack.
+"""
+
+from repro.ciphers.aes import AES128
+from repro.ciphers.gift import Gift64
+from repro.ciphers.present import Present80
+from repro.ciphers.sbox import SBox
+
+__all__ = ["AES128", "Gift64", "Present80", "SBox"]

@@ -1,0 +1,97 @@
+"""S-box objects: lookup, inverse, and the cryptanalytic tables attacks use.
+
+The difference distribution table (DDT) drives the DFA key-recovery step;
+the paper's SIFA figure is a histogram over S-box input values, and the FTA
+template is built per S-box — so this class is shared by ciphers,
+countermeasures and attacks alike.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.synth.truthtable import TruthTable
+
+__all__ = ["SBox", "PRESENT_SBOX", "GIFT_SBOX"]
+
+
+class SBox:
+    """An ``n × n`` bijective substitution box."""
+
+    def __init__(self, table: Sequence[int], *, name: str = "sbox") -> None:
+        table = list(table)
+        size = len(table)
+        n = size.bit_length() - 1
+        if 1 << n != size:
+            raise ValueError(f"table length {size} is not a power of two")
+        if sorted(table) != list(range(size)):
+            raise ValueError("S-box must be a bijection")
+        self.name = name
+        self.n = n
+        self.table = table
+        self._inverse = [0] * size
+        for x, y in enumerate(table):
+            self._inverse[y] = x
+
+    def __call__(self, x: int) -> int:
+        return self.table[x]
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def inverse(self, y: int) -> int:
+        """The unique ``x`` with ``S(x) == y``."""
+        return self._inverse[y]
+
+    def inverse_sbox(self) -> "SBox":
+        """The inverse S-box as its own object."""
+        return SBox(self._inverse, name=f"{self.name}_inv")
+
+    # ------------------------------------------------------------- analysis
+
+    def ddt(self) -> list[list[int]]:
+        """Difference distribution table: ``ddt[dx][dy] = #{x : S(x)⊕S(x⊕dx) = dy}``."""
+        size = len(self.table)
+        out = [[0] * size for _ in range(size)]
+        for x in range(size):
+            for dx in range(size):
+                out[dx][self.table[x] ^ self.table[x ^ dx]] += 1
+        return out
+
+    def diff_candidates(self, dx: int, dy: int) -> list[int]:
+        """Inputs ``x`` with ``S(x) ⊕ S(x ⊕ dx) == dy`` (DFA solving step)."""
+        return [
+            x
+            for x in range(len(self.table))
+            if self.table[x] ^ self.table[x ^ dx] == dy
+        ]
+
+    # ----------------------------------------------------------- synthesis
+
+    def truthtable(self) -> TruthTable:
+        """The S-box as a synthesisable truth table."""
+        return TruthTable(self.n, self.n, self.table)
+
+    def merged_truthtable(self) -> TruthTable:
+        """The paper's ``(n+1) × n`` merged table (λ on the extra MSB input).
+
+        ``T(λ=0, x) = S(x)`` and ``T(λ=1, x) = S(x̄)‾`` — the original box
+        and its inverted-domain twin implemented "at one place" (§III).
+        """
+        return self.truthtable().merged_with_domain_bit()
+
+    def __repr__(self) -> str:
+        return f"SBox({self.name!r}, {self.n}x{self.n})"
+
+
+#: The PRESENT cipher S-box (Bogdanov et al., CHES 2007, Table 1).
+PRESENT_SBOX = SBox(
+    [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2],
+    name="present",
+)
+
+#: The GIFT cipher S-box (Banik et al., CHES 2017).
+GIFT_SBOX = SBox(
+    [0x1, 0xA, 0x4, 0xC, 0x6, 0xF, 0x3, 0x9, 0x2, 0xD, 0xB, 0x7, 0x5, 0x0, 0x8, 0xE],
+    name="gift",
+)

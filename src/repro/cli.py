@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate any paper artefact with one command.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table2
+    python -m repro table3
+    python -m repro fig4  --runs 80000
+    python -m repro fig5  --runs 80000
+    python -m repro matrix --runs 16000
+    python -m repro sweep  --runs 10000
+    python -m repro sca    --traces 500
+    python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
+
+Each subcommand prints the same artefact the corresponding benchmark
+produces; the CLI exists so a reader can poke at the reproduction without
+learning the library API first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table2(args) -> int:
+    from repro.evaluation import render_table, table2
+
+    rows = table2()
+    print(render_table(
+        ["design", "comb GE", "non-comb GE", "total GE", "ratio", "paper GE", "paper ratio"],
+        [[r.design, r.combinational, r.non_combinational, r.total,
+          f"{r.ratio:.2f}x", r.paper_total, f"{r.paper_ratio:.2f}x"] for r in rows],
+        title="Table II: PRESENT-80 encryption area",
+    ))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.evaluation import render_table, table3
+
+    rows = table3(include_aes=not args.no_aes)
+    print(render_table(
+        ["countermeasure", "cipher", "total GE", "ratio", "paper GE", "paper ratio"],
+        [[r.countermeasure, r.cipher, r.total, f"{r.ratio:.2f}x",
+          r.paper_total, f"{r.paper_ratio:.2f}x"] for r in rows],
+        title="Table III: one duplicated S-box layer",
+    ))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.evaluation import figure4, render_histogram
+
+    fig = figure4(n_runs=args.runs, seed=args.seed)
+    print(f"Fig. 4 — stuck-at-0 at S-box {fig.target_sbox} bit {fig.target_bit}, "
+          f"last round, {args.runs} runs")
+    print(render_histogram(
+        fig.naive.distribution,
+        title=f"(a) naive duplication   SEI={fig.naive.sei:.4f}  {fig.naive.counts}"))
+    print(render_histogram(
+        fig.ours.distribution,
+        title=f"(b) our countermeasure  SEI={fig.ours.sei:.5f}  {fig.ours.counts}"))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.evaluation import figure5, render_histogram
+
+    fig = figure5(n_runs=args.runs, seed=args.seed)
+    print(f"Fig. 5 — identical stuck-at-0 at S-box {fig.target_sbox} bit "
+          f"{fig.target_bit} in both computations, {args.runs} runs")
+    for series, label in ((fig.naive, "(a) naive duplication"), (fig.ours, "(b) our countermeasure")):
+        print(render_histogram(
+            series.distribution,
+            title=f"{label}: faulty released={series.faulty_released}  {series.counts}"))
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.evaluation import render_table
+    from repro.evaluation.matrix import run_attack_matrix
+
+    matrix = run_attack_matrix(args.runs)
+    rows = [
+        [label,
+         "BROKEN" if cells["dfa_identical"].success else "protected",
+         "BROKEN" if cells["sifa"].success else "protected",
+         "BROKEN" if cells["fta"].success else "protected"]
+        for label, cells in matrix.items()
+    ]
+    print(render_table(
+        ["scheme", "identical-fault DFA", "SIFA", "FTA"], rows,
+        title=f"Attack x scheme matrix ({args.runs} runs per campaign)",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.evaluation import render_table
+    from repro.evaluation.matrix import run_round_sweep
+
+    rows = run_round_sweep(args.runs)
+    print(render_table(
+        ["round", "naive ineff rate", "naive bypass", "ours ineff rate", "ours bypass"],
+        rows, title=f"Round sweep ({args.runs} runs per point)",
+    ))
+    return 0
+
+
+def _cmd_sca(args) -> int:
+    from repro.ciphers.netlist_present import PresentSpec
+    from repro.countermeasures import build_three_in_one
+    from repro.rng import make_rng, random_ints
+    from repro.sca import LeakageModel, max_abs_t, power_trace
+    from repro.netlist.gates import GateType
+
+    design = build_three_in_one(PresentSpec())
+    key = 0x13579BDF02468ACE1122
+    n = args.traces
+    fixed = [0x0123456789ABCDEF] * n
+    rng = make_rng(2)
+
+    a = power_trace(design, fixed, key, rng=1)
+    b = power_trace(design, random_ints(rng, n, 64), key, rng=2)
+    print(f"fixed-vs-random plaintext, HD model: max|t| = {max_abs_t(a, b):.1f} "
+          "(sanity: unmasked datapath leaks data)")
+
+    core_a = [g.out for g in design.circuit.gates
+              if g.gtype is GateType.DFF and g.tag.startswith("a/state")]
+    for model, nets, label in (
+        (LeakageModel.HAMMING_DISTANCE, None, "whole chip, HD"),
+        (LeakageModel.HAMMING_WEIGHT, None, "whole chip, HW"),
+        (LeakageModel.HAMMING_DISTANCE, core_a, "core-a probe, HD (cycles>=1)"),
+        (LeakageModel.HAMMING_WEIGHT, core_a, "core-a probe, HW"),
+    ):
+        l0 = power_trace(design, fixed, key, model=model, lambdas=[0] * n, rng=3, nets=nets)
+        l1 = power_trace(design, fixed, key, model=model, lambdas=[1] * n, rng=4, nets=nets)
+        if "cycles>=1" in label:
+            l0, l1 = l0[:, 1:], l1[:, 1:]
+        print(f"λ=0 vs λ=1, {label}: max|t| = {max_abs_t(l0, l1):.1f}")
+    return 0
+
+
+def _cmd_encrypt(args) -> int:
+    from repro.ciphers.netlist_present import PresentSpec
+    from repro.ciphers.present import Present80
+    from repro.countermeasures import build_three_in_one
+
+    key = int(args.key, 0)
+    pt = int(args.pt, 0)
+    design = build_three_in_one(PresentSpec())
+    sim = design.simulator(1)
+    result = design.run(sim, [pt], key, rng=args.seed)
+    ct = sum(int(b) << i for i, b in enumerate(result["ciphertext"][0]))
+    print(f"protected netlist ciphertext: {ct:016x}")
+    print(f"reference ciphertext:         {Present80(key).encrypt(pt):016x}")
+    print(f"fault flag: {int(result['fault'][0])}")
+    return 0 if ct == Present80(key).encrypt(pt) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DATE'21 'Feeding Three Birds' evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table II: PRESENT-80 design areas").set_defaults(fn=_cmd_table2)
+    p3 = sub.add_parser("table3", help="Table III: S-box layer areas")
+    p3.add_argument("--no-aes", action="store_true", help="skip the AES rows (faster)")
+    p3.set_defaults(fn=_cmd_table3)
+
+    for name, fn, default_runs, help_ in (
+        ("fig4", _cmd_fig4, 80_000, "Fig. 4: SIFA bias campaign"),
+        ("fig5", _cmd_fig5, 80_000, "Fig. 5: identical-fault campaign"),
+        ("matrix", _cmd_matrix, 16_000, "attack x scheme key-recovery matrix"),
+        ("sweep", _cmd_sweep, 10_000, "fault-round sweep"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("--runs", type=int, default=default_runs)
+        p.add_argument("--seed", type=int, default=4)
+        p.set_defaults(fn=fn)
+
+    psca = sub.add_parser("sca", help="side-channel λ-leakage assessment")
+    psca.add_argument("--traces", type=int, default=300)
+    psca.set_defaults(fn=_cmd_sca)
+
+    penc = sub.add_parser("encrypt", help="one protected encryption vs the spec")
+    penc.add_argument("--key", default="0x0123456789abcdef0123")
+    penc.add_argument("--pt", default="0xcafebabedeadbeef")
+    penc.add_argument("--seed", type=int, default=1)
+    penc.set_defaults(fn=_cmd_encrypt)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The inverted-domain circuit transform (paper §III, Table I).
+
+In the inverted encoding every wire carries the complement of its logical
+value.  A circuit is re-expressed in that encoding by swapping each cell
+for its inverted-domain twin:
+
+====== =========== =============================================
+ cell   becomes     why
+====== =========== =============================================
+ XOR    XNOR        ``x̄0 ⊕ x̄1 = x0 ⊕ x1``, output must flip
+ XNOR   XOR         dual of the above
+ AND    OR          ``(x0 ∧ x1)‾ = x̄0 ∨ x̄1`` (De Morgan)
+ OR     AND         dual
+ NAND   NOR         ``((x0 ∧ x1)‾)‾ = (x̄0 ∨ x̄1)‾``
+ NOR    NAND        dual
+ NOT    NOT         complement of complement of complement…
+ BUF    BUF         wires are encoding-transparent
+ MUX    MUX         select is inverted too, so swap the branches
+ 0/1    1/0         constants are data
+ DFF    DFF         state bits are data; reset value flips
+====== =========== =============================================
+
+This is exactly the paper's Table I generalised to the full cell alphabet,
+and the property-based tests check the defining identity on random
+circuits: ``inverted(C)(x̄) == C(x)‾`` for every input ``x``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+
+__all__ = ["invert_circuit", "INVERTED_CELL"]
+
+#: inverted-domain replacement for each cell type
+INVERTED_CELL: dict[GateType, GateType] = {
+    GateType.INPUT: GateType.INPUT,
+    GateType.CONST0: GateType.CONST1,
+    GateType.CONST1: GateType.CONST0,
+    GateType.BUF: GateType.BUF,
+    GateType.NOT: GateType.NOT,
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.MUX: GateType.MUX,
+    GateType.DFF: GateType.DFF,
+}
+
+
+def invert_circuit(circuit: Circuit, *, name: str | None = None) -> Circuit:
+    """Return the inverted-domain twin of ``circuit``.
+
+    The twin has the same ports and net numbering; feeding it complemented
+    inputs makes every internal net carry the complement of the original's
+    value, so its outputs are the complements of the original's outputs.
+    Gate-for-gate structural correspondence is preserved on purpose: a
+    physical fault location in the original has a well-defined counterpart
+    in the twin, which the identical-fault-mask experiments rely on.
+    """
+    out = Circuit(name or f"{circuit.name}_inv")
+    while out.num_nets < circuit.num_nets:
+        out.new_net()
+    for gate in circuit.gates:
+        new_type = INVERTED_CELL[gate.gtype]
+        ins = gate.ins
+        if gate.gtype is GateType.MUX:
+            sel, d0, d1 = ins
+            ins = (sel, d1, d0)
+        init = gate.init ^ 1 if gate.gtype is GateType.DFF else 0
+        out.add_gate(new_type, ins, out=gate.out, init=init, tag=gate.tag)
+    out.inputs = {k: list(v) for k, v in circuit.inputs.items()}
+    out.outputs = {k: list(v) for k, v in circuit.outputs.items()}
+    out.validate()
+    return out

@@ -1,0 +1,29 @@
+"""Regeneration of every table and figure in the paper's evaluation (§IV).
+
+- :mod:`repro.evaluation.tables` — Table II (PRESENT-80 design areas) and
+  Table III (S-box layer areas);
+- :mod:`repro.evaluation.figures` — Fig. 4 (SIFA bias, naïve vs ours) and
+  Fig. 5 (identical-fault DFA, naïve vs ours) data series;
+- :mod:`repro.evaluation.report` — plain-text rendering in the paper's
+  layout (tables and ASCII histograms).
+
+Every function returns plain data (dataclasses over numpy arrays) so the
+benchmarks can both print the paper-style artefact and assert its shape.
+"""
+
+from repro.evaluation.figures import Figure4Data, Figure5Data, figure4, figure5
+from repro.evaluation.tables import Table2Row, Table3Row, table2, table3
+from repro.evaluation.report import render_histogram, render_table
+
+__all__ = [
+    "Figure4Data",
+    "Figure5Data",
+    "Table2Row",
+    "Table3Row",
+    "figure4",
+    "figure5",
+    "render_histogram",
+    "render_table",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,82 @@
+"""The attack × scheme matrix and the fault-round sweep.
+
+These back both the benchmark harness and the CLI; see
+``benchmarks/bench_attack_matrix.py`` and ``benchmarks/bench_round_sweep.py``
+for the asserted, artefact-producing versions.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import selmke_attack, sifa_attack
+from repro.attacks.fta import fta_key_recovery
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import (
+    build_acisp20,
+    build_naive_duplication,
+    build_three_in_one,
+)
+from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
+from repro.faults.models import sbox_input_net
+
+__all__ = ["FTA_PLAINTEXTS", "run_attack_matrix", "run_round_sweep"]
+
+DEFAULT_KEY = 0x8F4E2D1C0B5A69783746
+
+FTA_PLAINTEXTS = [
+    0x5AF019C3B2487D6E,
+    0xC3A1905E7F2B6D84,
+    0x0F1E2D3C4B5A6978,
+    0x9182736455463728,
+]
+
+
+def run_attack_matrix(n_runs: int, *, key: int = DEFAULT_KEY) -> dict[str, dict]:
+    """DFA/SIFA/FTA key-recovery attempts against all three duplication
+    schemes; returns ``{scheme: {attack: result}}``."""
+    spec = PresentSpec()
+    schemes = {
+        "naive_duplication": build_naive_duplication(spec),
+        "acisp20": build_acisp20(spec),
+        "three_in_one": build_three_in_one(spec),
+    }
+    matrix: dict[str, dict] = {}
+    for label, design in schemes.items():
+        selmke = selmke_attack(
+            design, target_sbox=5, faulted_bit=1, key=key, n_runs=n_runs, seed=4
+        )
+        net = sbox_input_net(design.cores[0], 7, 1)
+        fault = FaultSpec.at(net, FaultType.STUCK_AT_0, spec.rounds - 2)
+        campaign = run_campaign(design, [fault], n_runs=n_runs, key=key, seed=21)
+        sifa = sifa_attack(campaign, spec, 7, 1)
+        fta = fta_key_recovery(
+            design, sbox=3, plaintexts=FTA_PLAINTEXTS, key=key, n_rep=32, seed=7
+        )
+        matrix[label] = {"dfa_identical": selmke, "sifa": sifa, "fta": fta}
+    return matrix
+
+
+def run_round_sweep(
+    n_runs: int,
+    *,
+    key: int = DEFAULT_KEY,
+    rounds=(1, 5, 10, 16, 24, 30, 31),
+    target_sbox: int = 13,
+    target_bit: int = 2,
+) -> list[list]:
+    """Per-round campaign stats for naïve duplication and the three-in-one
+    design; one row per probed round (see bench_round_sweep for assertions)."""
+    spec = PresentSpec()
+    designs = {
+        "naive": build_naive_duplication(spec),
+        "ours": build_three_in_one(spec),
+    }
+    rows = []
+    for round_ in rounds:
+        row: list = [round_]
+        for design in designs.values():
+            net = sbox_input_net(design.cores[0], target_sbox, target_bit)
+            fault = FaultSpec.at(net, FaultType.STUCK_AT_0, round_ - 1)
+            res = run_campaign(design, [fault], n_runs=n_runs, key=key, seed=round_)
+            row.extend([res.rate(Outcome.INEFFECTIVE), res.count(Outcome.EFFECTIVE)])
+        rows.append(row)
+    return rows

@@ -1,0 +1,68 @@
+"""Plain-text rendering of the regenerated tables and figures.
+
+The benchmark harness prints these artefacts so a reader can compare them
+line-by-line with the paper; benchmarks also assert on the underlying data
+so the comparison is mechanical, not just visual.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_histogram", "render_table"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width ASCII table (right-aligned numbers, left-aligned text)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if _numericish(cell) else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_histogram(
+    counts: np.ndarray,
+    *,
+    title: str = "",
+    width: int = 50,
+    label_fmt: str = "{:>2x}",
+) -> str:
+    """Horizontal ASCII bar chart of a histogram (the Fig. 4/5 panels)."""
+    counts = np.asarray(counts)
+    peak = counts.max() if counts.size and counts.max() > 0 else 1
+    lines = [title] if title else []
+    for value, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {label_fmt.format(value)} |{bar:<{width}} {int(count)}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(".", "").replace("-", "").replace("x", "").replace("%", "")
+    return stripped.isdigit()

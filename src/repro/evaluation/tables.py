@@ -1,0 +1,139 @@
+"""Table II and Table III of the paper, regenerated on our substrate.
+
+Paper values (45nm Nangate, commercial synthesis):
+
+Table II — PRESENT-80 encryption:
+    naïve duplication   1289 comb + 1807 non-comb = 3096 GE (1.00×)
+    our countermeasure  2290 comb + 1807 non-comb = 4097 GE (1.32×)
+
+Table III — one duplicated layer of S-boxes:
+    PRESENT: 605 GE → 1397 GE (2.3×);  AES: 8363 GE → 15327 GE (1.8×)
+
+Our absolute GE differs (a from-scratch Python synthesiser is no match for
+a commercial flow's mapper), but the quantities the paper argues from —
+the overhead *ratios* and the unchanged non-combinational cost — are
+reproduced; EXPERIMENTS.md tabulates paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ciphers.netlist_present import PresentSpec
+from repro.ciphers.netlist_sbox_layer import build_sbox_layer
+from repro.ciphers.sbox import SBox
+from repro.countermeasures import build_naive_duplication, build_three_in_one
+from repro.tech import PAPER_CALIBRATED, AreaReport, CellLibrary, area_of
+
+__all__ = ["Table2Row", "Table3Row", "table2", "table3"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II: a full PRESENT-80 design."""
+
+    design: str
+    combinational: float
+    non_combinational: float
+    total: float
+    ratio: float
+    paper_total: float | None
+    paper_ratio: float | None
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table III: a duplicated S-box layer."""
+
+    countermeasure: str
+    cipher: str
+    total: float
+    ratio: float
+    paper_total: float | None
+    paper_ratio: float | None
+
+
+_PAPER_TABLE2 = {"naive_duplication": 3096.0, "three_in_one": 4097.0}
+_PAPER_TABLE3 = {
+    ("naive", "present"): 605.0,
+    ("ours", "present"): 1397.0,
+    ("naive", "aes"): 8363.0,
+    ("ours", "aes"): 15327.0,
+}
+
+
+def table2(
+    *,
+    library: CellLibrary = PAPER_CALIBRATED,
+    sbox_strategy: str = "shannon",
+) -> list[Table2Row]:
+    """Regenerate Table II: naïve duplication vs the three-in-one design."""
+    spec = PresentSpec(sbox_strategy=sbox_strategy)
+    naive = build_naive_duplication(spec, sbox_strategy=sbox_strategy)
+    ours = build_three_in_one(spec, sbox_strategy=sbox_strategy)
+    naive_area = area_of(naive.circuit, library=library)
+    ours_area = area_of(ours.circuit, library=library)
+
+    def row(scheme: str, report: AreaReport, baseline: AreaReport) -> Table2Row:
+        paper_total = _PAPER_TABLE2.get(scheme)
+        return Table2Row(
+            design=scheme,
+            combinational=report.combinational,
+            non_combinational=report.non_combinational,
+            total=report.total,
+            ratio=report.total / baseline.total,
+            paper_total=paper_total,
+            paper_ratio=(
+                paper_total / _PAPER_TABLE2["naive_duplication"]
+                if paper_total
+                else None
+            ),
+        )
+
+    return [
+        row("naive_duplication", naive_area, naive_area),
+        row("three_in_one", ours_area, naive_area),
+    ]
+
+
+def table3(
+    *,
+    library: CellLibrary = PAPER_CALIBRATED,
+    sbox_strategy: str = "shannon",
+    construction: str = "monolithic",
+    include_aes: bool = True,
+) -> list[Table3Row]:
+    """Regenerate Table III: duplicated S-box layers, plain vs merged."""
+    from repro.ciphers.aes import AES_SBOX
+    from repro.ciphers.sbox import PRESENT_SBOX
+
+    ciphers: list[tuple[str, SBox]] = [("present", PRESENT_SBOX)]
+    if include_aes:
+        ciphers.append(("aes", AES_SBOX))
+
+    rows: list[Table3Row] = []
+    for cipher, sbox in ciphers:
+        plain = area_of(
+            build_sbox_layer(sbox, merged=False, strategy=sbox_strategy),
+            library=library,
+        )
+        merged = area_of(
+            build_sbox_layer(
+                sbox, merged=True, construction=construction, strategy=sbox_strategy
+            ),
+            library=library,
+        )
+        for label, report in (("naive", plain), ("ours", merged)):
+            paper = _PAPER_TABLE3.get((label, cipher))
+            paper_base = _PAPER_TABLE3.get(("naive", cipher))
+            rows.append(
+                Table3Row(
+                    countermeasure=label,
+                    cipher=cipher,
+                    total=report.total,
+                    ratio=report.total / plain.total,
+                    paper_total=paper,
+                    paper_ratio=(paper / paper_base if paper and paper_base else None),
+                )
+            )
+    return rows

@@ -1,0 +1,102 @@
+"""Turning :class:`FaultSpec` lists into simulator-level transforms.
+
+The simulator calls :meth:`FaultInjector.for_cycle` once per clock cycle
+and applies the returned ``{net: transform}`` map while evaluating; each
+transform works on the packed ``uint64`` batch vector, so a fault costs one
+vector op per targeted net per cycle regardless of batch size.
+
+Per-run probabilistic faults draw a lane mask once at construction: the
+same subset of runs is hit at every active cycle, which models a fault
+set-up that either locks onto an invocation or misses it entirely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.faults.models import FaultSpec, FaultType
+from repro.rng import make_rng
+from repro.utils.bits import pack_bits, words_for
+
+__all__ = ["FaultInjector"]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+_ALL_ONES = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+def _make_transform(spec: FaultSpec, mask: np.ndarray | None) -> Transform:
+    kind = spec.fault_type
+    if mask is None:
+        if kind is FaultType.STUCK_AT_0 or kind is FaultType.RESET_FLIP:
+            return lambda v: np.zeros_like(v)
+        if kind is FaultType.STUCK_AT_1 or kind is FaultType.SET_FLIP:
+            return lambda v: np.full_like(v, _ALL_ONES)
+        return lambda v: ~v  # BIT_FLIP
+    if kind is FaultType.STUCK_AT_0 or kind is FaultType.RESET_FLIP:
+        return lambda v: v & ~mask
+    if kind is FaultType.STUCK_AT_1 or kind is FaultType.SET_FLIP:
+        return lambda v: v | mask
+    return lambda v: v ^ mask  # BIT_FLIP
+
+
+class FaultInjector:
+    """A :class:`~repro.netlist.simulator.FaultProvider` over FaultSpecs.
+
+    Note on RESET/SET flips: on a combinational *net* a reset glitch and a
+    stuck-at-0 coincide (both force the wire low while active); the two
+    spellings exist because the SIFA literature describes the bias as a
+    directional flip.  Both classify as biased faults.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        batch: int,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.specs = list(specs)
+        self.batch = batch
+        n_words = words_for(batch)
+        rng = make_rng(rng)
+
+        self._always: dict[int, Transform] = {}
+        self._windowed: dict[int, dict[int, Transform]] = {}
+        for spec in self.specs:
+            if spec.probability < 1.0:
+                lanes = (rng.random(batch) < spec.probability).astype(np.uint8)
+                mask = pack_bits(lanes[:, None]).reshape(n_words)
+            else:
+                mask = None
+            transform = _make_transform(spec, mask)
+            if spec.cycles is None:
+                self._merge(self._always, spec.net, transform)
+            else:
+                for cycle in spec.cycles:
+                    self._merge(
+                        self._windowed.setdefault(cycle, {}), spec.net, transform
+                    )
+
+    @staticmethod
+    def _merge(table: dict[int, Transform], net: int, transform: Transform) -> None:
+        existing = table.get(net)
+        if existing is None:
+            table[net] = transform
+        else:
+            # Two faults on one net compose in spec order.
+            table[net] = lambda v, _a=existing, _b=transform: _b(_a(v))
+
+    def for_cycle(self, cycle: int) -> dict[int, Transform]:
+        """Transforms active during ``cycle`` (simulator hook)."""
+        windowed = self._windowed.get(cycle)
+        if windowed is None:
+            return self._always
+        if not self._always:
+            return windowed
+        merged = dict(self._always)
+        for net, transform in windowed.items():
+            self._merge(merged, net, transform)
+        return merged

@@ -1,0 +1,96 @@
+"""Fault types and fault specifications.
+
+A :class:`FaultSpec` is a *location* (one net), a *type* (how the value is
+corrupted), a *time window* (which clock cycles), and optionally a
+*probability* (for imperfect injections — drawn once per run, i.e. the same
+runs are affected at every targeted cycle, modelling a per-invocation
+hit-or-miss of the injection equipment).
+
+The paper's experiments use single stuck-at faults in the last round; the
+campaign API accepts any list of specs, so multi-fault scenarios (the
+identical-mask DFA needs one fault per core) are just two entries.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.ciphers.spn import SpnCore
+
+__all__ = ["FaultType", "FaultSpec", "last_round", "sbox_input_net", "sbox_output_net"]
+
+
+class FaultType(enum.Enum):
+    """How the targeted net's value is corrupted while the fault is active."""
+
+    STUCK_AT_0 = "stuck_at_0"
+    STUCK_AT_1 = "stuck_at_1"
+    BIT_FLIP = "bit_flip"
+    #: biased flip: 1→0 only (a reset glitch); equals STUCK_AT_0 on wires
+    #: but is the canonical SIFA "biased fault" phrasing
+    RESET_FLIP = "reset_flip"
+    #: biased flip: 0→1 only (a set glitch)
+    SET_FLIP = "set_flip"
+
+    @property
+    def is_biased(self) -> bool:
+        """True when ineffectiveness depends on the data (SIFA-exploitable)."""
+        return self is not FaultType.BIT_FLIP
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: location × type × time × reliability."""
+
+    net: int
+    fault_type: FaultType
+    #: clock cycles during which the fault is active; None = every cycle
+    #: (a permanent/stuck fault for the whole run)
+    cycles: frozenset[int] | None = None
+    #: per-run probability that this injection lands (1.0 = always)
+    probability: float = 1.0
+    #: free-form label carried into reports
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0,1]: {self.probability}")
+
+    @staticmethod
+    def at(
+        net: int,
+        fault_type: FaultType,
+        cycles: Iterable[int] | int | None,
+        *,
+        probability: float = 1.0,
+        label: str = "",
+    ) -> "FaultSpec":
+        """Convenience constructor accepting a single cycle or an iterable."""
+        if cycles is None:
+            window = None
+        elif isinstance(cycles, int):
+            window = frozenset((cycles,))
+        else:
+            window = frozenset(cycles)
+        return FaultSpec(net, fault_type, window, probability=probability, label=label)
+
+
+def last_round(core: SpnCore) -> int:
+    """The clock cycle index of the final round (paper: 'last round attack')."""
+    return core.spec.rounds - 1
+
+
+def sbox_input_net(core: SpnCore, sbox: int, bit: int) -> int:
+    """The net feeding input line ``bit`` (LSB = 0) of S-box ``sbox``.
+
+    ``sbox_input_net(core, 13, 2)`` is "the second MSB input of S-box 13"
+    for a 4-bit S-box — the Fig. 4 target.
+    """
+    return core.sbox_inputs[sbox][bit]
+
+
+def sbox_output_net(core: SpnCore, sbox: int, bit: int) -> int:
+    """The net driven by output line ``bit`` of S-box ``sbox``."""
+    return core.sbox_outputs[sbox][bit]

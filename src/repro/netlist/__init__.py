@@ -1,0 +1,17 @@
+"""Gate-level circuit IR, analysis, Verilog I/O, and bit-parallel simulation.
+
+This subpackage is the hardware substrate of the reproduction.  A
+:class:`~repro.netlist.circuit.Circuit` is a technology-mapped netlist of
+two-input cells plus D flip-flops, and
+:class:`~repro.netlist.simulator.Simulator` evaluates it cycle-accurately for
+thousands of independent runs at once (one run per bit lane of a ``uint64``
+word), which is what makes the paper's 80k-run fault campaigns feasible in
+pure Python.
+"""
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+from repro.netlist.simulator import Simulator
+
+__all__ = ["Circuit", "CircuitBuilder", "Gate", "GateType", "Simulator"]

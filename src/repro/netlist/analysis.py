@@ -1,0 +1,101 @@
+"""Structural analysis over circuits: cones, fanout, and reachability.
+
+Used by the fault campaign to answer questions like "which nets feed the
+comparator but not the datapath" and by tests to check that countermeasure
+wrappers wired the cores up independently (no sneaky sharing between the
+actual and redundant computations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+
+__all__ = [
+    "fanin_cone",
+    "fanout_cone",
+    "fanout_map",
+    "gate_by_output",
+    "shared_logic",
+]
+
+
+def gate_by_output(circuit: Circuit) -> dict[int, Gate]:
+    """Map each driven net to its driver gate."""
+    return {g.out: g for g in circuit.gates}
+
+
+def fanout_map(circuit: Circuit) -> dict[int, list[Gate]]:
+    """Map each net to the gates that read it."""
+    fan: dict[int, list[Gate]] = {}
+    for gate in circuit.gates:
+        for net in gate.ins:
+            fan.setdefault(net, []).append(gate)
+    return fan
+
+
+def fanin_cone(
+    circuit: Circuit, nets, *, through_dffs: bool = True
+) -> set[int]:
+    """All nets that can influence any of ``nets``.
+
+    With ``through_dffs`` (default) the cone crosses register boundaries,
+    giving sequential reachability; without it the cone stops at DFF outputs,
+    giving the single-cycle combinational cone.
+    """
+    drivers = gate_by_output(circuit)
+    seen: set[int] = set()
+    work = deque(nets)
+    while work:
+        net = work.popleft()
+        if net in seen:
+            continue
+        seen.add(net)
+        gate = drivers.get(net)
+        if gate is None:
+            continue
+        if gate.gtype is GateType.DFF and not through_dffs:
+            continue
+        work.extend(gate.ins)
+    return seen
+
+
+def fanout_cone(
+    circuit: Circuit, nets, *, through_dffs: bool = True
+) -> set[int]:
+    """All nets that any of ``nets`` can influence (transitively)."""
+    fan = fanout_map(circuit)
+    seen: set[int] = set()
+    work = deque(nets)
+    while work:
+        net = work.popleft()
+        if net in seen:
+            continue
+        seen.add(net)
+        for gate in fan.get(net, ()):
+            if gate.gtype is GateType.DFF and not through_dffs:
+                continue
+            work.append(gate.out)
+    return seen
+
+
+def shared_logic(circuit: Circuit, outputs_a, outputs_b) -> set[int]:
+    """Nets inside both fan-in cones, excluding primary inputs and constants.
+
+    A correct duplication countermeasure shares *only* primary inputs (and
+    the randomness) between its two cores; any other overlap means a single
+    fault could corrupt both computations identically.  Tests use this to
+    verify core independence.
+    """
+    drivers = gate_by_output(circuit)
+    cone_a = fanin_cone(circuit, outputs_a)
+    cone_b = fanin_cone(circuit, outputs_b)
+    common = cone_a & cone_b
+    return {
+        net
+        for net in common
+        if (gate := drivers.get(net)) is not None
+        and gate.gtype not in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+    }

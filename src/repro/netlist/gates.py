@@ -1,0 +1,146 @@
+"""Gate types and the :class:`Gate` record.
+
+The cell alphabet deliberately matches what a technology mapper would emit
+for a standard-cell flow (two-input combinational cells, an inverter/buffer,
+a 2:1 mux and a D flip-flop).  Wider operations are built as trees by
+:class:`~repro.netlist.builder.CircuitBuilder`.
+
+Conventions
+-----------
+- A *net* is an integer id allocated by the owning circuit.  Every net has
+  exactly one driver (a gate output, a primary input, or a constant).
+- ``MUX`` input order is ``(sel, d0, d1)`` and selects ``d1`` when ``sel`` is
+  1 (``out = d0 if sel == 0 else d1``).
+- ``DFF`` input order is ``(d,)``; the output net is the ``Q`` pin.  Clocking
+  is implicit: every flip-flop in a circuit latches simultaneously on
+  :meth:`Simulator.step`.  The reset value lives in :attr:`Gate.init`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["GateType", "Gate", "COMBINATIONAL_TYPES", "SOURCE_TYPES"]
+
+
+class GateType(enum.Enum):
+    """Every cell kind understood by the simulator and the area mapper."""
+
+    INPUT = "input"  # primary input bit (no fan-in)
+    CONST0 = "const0"  # tied-low net
+    CONST1 = "const1"  # tied-high net
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # (sel, d0, d1) -> d1 if sel else d0
+    DFF = "dff"  # (d,) -> q, latched on clock step
+
+    @property
+    def arity(self) -> int:
+        """Number of input nets this gate type consumes."""
+        return _ARITY[self]
+
+    @property
+    def is_combinational(self) -> bool:
+        """True for cells evaluated inside a clock cycle (excludes DFF/sources)."""
+        return self in COMBINATIONAL_TYPES
+
+    def eval(self, *ins: int) -> int:
+        """Evaluate the cell on scalar 0/1 inputs (reference semantics).
+
+        The bit-parallel simulator re-implements these with vector ops; this
+        scalar form is the single source of truth the tests check against.
+        """
+        if len(ins) != self.arity:
+            raise ValueError(f"{self.name} expects {self.arity} inputs, got {len(ins)}")
+        if self is GateType.CONST0:
+            return 0
+        if self is GateType.CONST1:
+            return 1
+        if self in (GateType.BUF, GateType.DFF):
+            return ins[0]
+        if self is GateType.NOT:
+            return ins[0] ^ 1
+        if self is GateType.AND:
+            return ins[0] & ins[1]
+        if self is GateType.OR:
+            return ins[0] | ins[1]
+        if self is GateType.NAND:
+            return (ins[0] & ins[1]) ^ 1
+        if self is GateType.NOR:
+            return (ins[0] | ins[1]) ^ 1
+        if self is GateType.XOR:
+            return ins[0] ^ ins[1]
+        if self is GateType.XNOR:
+            return ins[0] ^ ins[1] ^ 1
+        if self is GateType.MUX:
+            sel, d0, d1 = ins
+            return d1 if sel else d0
+        raise ValueError(f"{self.name} has no evaluation semantics")
+
+
+_ARITY: dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.MUX: 3,
+    GateType.DFF: 1,
+}
+
+COMBINATIONAL_TYPES = frozenset(
+    {
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.MUX,
+    }
+)
+
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.CONST0, GateType.CONST1})
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    """One cell instance: ``out`` is driven by ``gtype`` applied to ``ins``.
+
+    ``init`` is the power-on value for ``DFF`` cells and must stay 0 for all
+    other types.  ``tag`` is a free-form label used by countermeasure
+    builders to mark structural roles (e.g. ``"sbox13/round"``) so fault
+    campaigns can target locations the way the paper describes them.
+    """
+
+    gtype: GateType
+    out: int
+    ins: tuple[int, ...] = ()
+    init: int = 0
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.ins) != self.gtype.arity:
+            raise ValueError(
+                f"{self.gtype.name} gate needs {self.gtype.arity} inputs, "
+                f"got {len(self.ins)}"
+            )
+        if self.init not in (0, 1):
+            raise ValueError(f"DFF init must be 0 or 1, got {self.init}")
+        if self.init and self.gtype is not GateType.DFF:
+            raise ValueError(f"init=1 is only meaningful on DFF, not {self.gtype.name}")

@@ -1,0 +1,310 @@
+"""Bit-parallel, cycle-accurate gate-level simulation.
+
+Every net holds a packed vector of ``batch`` independent one-bit lanes
+(64 lanes per ``uint64`` word), so one numpy bitwise op evaluates a gate for
+the whole batch at once.  This is what makes the paper's fault campaigns —
+80,000 randomised encryptions of a ~2,500-gate protected PRESENT-80 netlist —
+run in seconds of pure Python.
+
+Fault injection is a first-class citizen of the evaluation loop: a *fault
+provider* maps a clock cycle to ``{net: transform}`` entries, and the
+simulator applies each transform to the net's packed value at the moment the
+net is produced (source nets at the start of the cycle, gate outputs right
+after evaluation).  This mirrors VerFI's semantics: the corrupted value is
+seen by the entire fanout, including flip-flop D pins, within that cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Protocol
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.utils.bits import pack_bits, unpack_bits, words_for
+
+__all__ = ["FaultProvider", "Simulator"]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class FaultProvider(Protocol):
+    """Minimal interface the simulator needs from a fault injector."""
+
+    def for_cycle(self, cycle: int) -> Mapping[int, Transform]:
+        """Transforms to apply to net values during clock cycle ``cycle``."""
+        ...  # pragma: no cover - protocol
+
+
+# opcode table: compact ints so the hot loop dispatches on an if-chain
+_OP_BUF = 0
+_OP_NOT = 1
+_OP_AND = 2
+_OP_OR = 3
+_OP_NAND = 4
+_OP_NOR = 5
+_OP_XOR = 6
+_OP_XNOR = 7
+_OP_MUX = 8
+
+_OPCODE: dict[GateType, int] = {
+    GateType.BUF: _OP_BUF,
+    GateType.NOT: _OP_NOT,
+    GateType.AND: _OP_AND,
+    GateType.OR: _OP_OR,
+    GateType.NAND: _OP_NAND,
+    GateType.NOR: _OP_NOR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XNOR,
+    GateType.MUX: _OP_MUX,
+}
+
+
+class Simulator:
+    """Evaluate a :class:`Circuit` for a batch of independent runs.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.  It is compiled (topologically ordered and
+        lowered to an opcode program) once, at construction.
+    batch:
+        Number of independent runs evaluated in parallel.
+    faults:
+        Optional :class:`FaultProvider`; may also be swapped later via
+        :attr:`faults` (e.g. between campaign phases).
+
+    Usage::
+
+        sim = Simulator(circ, batch=1000)
+        sim.set_input_ints("plaintext", ptexts)
+        sim.set_input_ints("key", [key] * 1000)
+        sim.run(31)
+        cts = sim.get_output_ints("ciphertext")
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        batch: int,
+        *,
+        faults: FaultProvider | None = None,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.batch = batch
+        self.n_words = words_for(batch)
+        self.faults = faults
+        self.cycle = 0
+
+        # opcode program: (op, out, in0, in1, in2)
+        self._program: list[tuple[int, int, int, int, int]] = []
+        for gate in circuit.topo_order():
+            op = _OPCODE[gate.gtype]
+            a = gate.ins[0]
+            b = gate.ins[1] if len(gate.ins) > 1 else 0
+            c = gate.ins[2] if len(gate.ins) > 2 else 0
+            self._program.append((op, gate.out, a, b, c))
+
+        self._dff_d = np.array([g.ins[0] for g in circuit.dffs()], dtype=np.intp)
+        self._dff_q = np.array([g.out for g in circuit.dffs()], dtype=np.intp)
+        self._dff_init = np.array([g.init for g in circuit.dffs()], dtype=np.uint64)
+        self._const0_nets = [
+            g.out for g in circuit.gates if g.gtype is GateType.CONST0
+        ]
+        self._const1_nets = [
+            g.out for g in circuit.gates if g.gtype is GateType.CONST1
+        ]
+        self._source_nets = sorted(
+            set(self._const0_nets)
+            | set(self._const1_nets)
+            | {g.out for g in circuit.gates if g.gtype is GateType.INPUT}
+            | set(int(q) for q in self._dff_q)
+        )
+
+        self._schedules: dict[str, object] = {}
+        self._vals = np.zeros((circuit.num_nets, self.n_words), dtype=np.uint64)
+        self.reset()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset(self) -> None:
+        """Return to power-on state: cycle 0, DFFs at init, inputs cleared."""
+        self.cycle = 0
+        self._vals.fill(0)
+        ones = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        for net in self._const1_nets:
+            self._vals[net].fill(ones)
+        if len(self._dff_q):
+            init_rows = np.where(self._dff_init[:, None].astype(bool), ones, 0)
+            self._vals[self._dff_q] = init_rows.astype(np.uint64)
+
+    # --------------------------------------------------------------- inputs
+
+    def set_input_bits(self, name: str, bits: np.ndarray) -> None:
+        """Drive an input port from a ``(batch, width)`` 0/1 matrix."""
+        nets = self._input_nets(name)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.batch, len(nets)):
+            raise ValueError(
+                f"input {name!r} expects shape {(self.batch, len(nets))}, "
+                f"got {bits.shape}"
+            )
+        self._vals[np.array(nets, dtype=np.intp)] = pack_bits(bits)
+
+    def set_input_ints(self, name: str, values: Sequence[int]) -> None:
+        """Drive an input port with one integer per run (LSB-first bits)."""
+        nets = self._input_nets(name)
+        if len(values) != self.batch:
+            raise ValueError(f"expected {self.batch} values, got {len(values)}")
+        from repro.utils.bits import ints_to_bits
+
+        self.set_input_bits(name, ints_to_bits(values, len(nets)))
+
+    def set_input_schedule(self, name: str, provider) -> None:
+        """Drive an input port with fresh values every clock cycle.
+
+        ``provider(cycle)`` must return a ``(batch, width)`` 0/1 matrix; it
+        is consulted at the start of each combinational evaluation.  This
+        models inputs fed by a free-running source — in this repository,
+        the TRNG streaming fresh λ bits to the per-round / per-S-box
+        countermeasure variants.
+        """
+        self._input_nets(name)  # validate the port exists
+        self._schedules[name] = provider
+
+    def clear_input_schedule(self, name: str) -> None:
+        """Remove a per-cycle driver installed by :meth:`set_input_schedule`."""
+        self._schedules.pop(name, None)
+
+    def broadcast_input(self, name: str, value: int) -> None:
+        """Drive an input port with the same integer in every lane."""
+        nets = self._input_nets(name)
+        ones = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        for i, net in enumerate(nets):
+            self._vals[net].fill(ones if (value >> i) & 1 else 0)
+
+    def _input_nets(self, name: str) -> list[int]:
+        try:
+            return self.circuit.inputs[name]
+        except KeyError:
+            raise KeyError(
+                f"no input port {name!r}; ports: {sorted(self.circuit.inputs)}"
+            ) from None
+
+    # ------------------------------------------------------------ evaluation
+
+    def eval_comb(self) -> None:
+        """Evaluate the combinational program for the current cycle.
+
+        Fault transforms registered for this cycle are applied to source
+        nets first, then to each gate output as it is produced, so the
+        corrupted value propagates exactly as a physical glitch would.
+        """
+        for name, provider in self._schedules.items():
+            self.set_input_bits(name, provider(self.cycle))
+        vals = self._vals
+        fault_map: Mapping[int, Transform] = (
+            self.faults.for_cycle(self.cycle) if self.faults is not None else {}
+        )
+        if fault_map:
+            for net in self._source_nets:
+                transform = fault_map.get(net)
+                if transform is not None:
+                    vals[net] = transform(vals[net])
+            self._run_program_faulty(fault_map)
+        else:
+            self._run_program_clean()
+
+    def _run_program_clean(self) -> None:
+        vals = self._vals
+        for op, out, a, b, c in self._program:
+            if op == _OP_XOR:
+                np.bitwise_xor(vals[a], vals[b], out=vals[out])
+            elif op == _OP_AND:
+                np.bitwise_and(vals[a], vals[b], out=vals[out])
+            elif op == _OP_OR:
+                np.bitwise_or(vals[a], vals[b], out=vals[out])
+            elif op == _OP_NOT:
+                np.bitwise_not(vals[a], out=vals[out])
+            elif op == _OP_XNOR:
+                np.bitwise_not(vals[a] ^ vals[b], out=vals[out])
+            elif op == _OP_NAND:
+                np.bitwise_not(vals[a] & vals[b], out=vals[out])
+            elif op == _OP_NOR:
+                np.bitwise_not(vals[a] | vals[b], out=vals[out])
+            elif op == _OP_MUX:
+                sel = vals[a]
+                vals[out] = (sel & vals[c]) | (~sel & vals[b])
+            else:  # _OP_BUF
+                vals[out] = vals[a]
+
+    def _run_program_faulty(self, fault_map: Mapping[int, Transform]) -> None:
+        vals = self._vals
+        for op, out, a, b, c in self._program:
+            if op == _OP_XOR:
+                np.bitwise_xor(vals[a], vals[b], out=vals[out])
+            elif op == _OP_AND:
+                np.bitwise_and(vals[a], vals[b], out=vals[out])
+            elif op == _OP_OR:
+                np.bitwise_or(vals[a], vals[b], out=vals[out])
+            elif op == _OP_NOT:
+                np.bitwise_not(vals[a], out=vals[out])
+            elif op == _OP_XNOR:
+                np.bitwise_not(vals[a] ^ vals[b], out=vals[out])
+            elif op == _OP_NAND:
+                np.bitwise_not(vals[a] & vals[b], out=vals[out])
+            elif op == _OP_NOR:
+                np.bitwise_not(vals[a] | vals[b], out=vals[out])
+            elif op == _OP_MUX:
+                sel = vals[a]
+                vals[out] = (sel & vals[c]) | (~sel & vals[b])
+            else:  # _OP_BUF
+                vals[out] = vals[a]
+            transform = fault_map.get(out)
+            if transform is not None:
+                vals[out] = transform(vals[out])
+
+    def step(self) -> None:
+        """One full clock cycle: evaluate logic, then latch every DFF."""
+        self.eval_comb()
+        if len(self._dff_q):
+            self._vals[self._dff_q] = self._vals[self._dff_d]
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    # -------------------------------------------------------------- readout
+
+    def get_nets_packed(self, nets: Sequence[int]) -> np.ndarray:
+        """Raw packed rows for arbitrary nets — ``(len(nets), n_words)``.
+
+        Values reflect the last :meth:`eval_comb`; call it (or :meth:`step`)
+        first if inputs changed.
+        """
+        return self._vals[np.array(list(nets), dtype=np.intp)].copy()
+
+    def get_nets_bits(self, nets: Sequence[int]) -> np.ndarray:
+        """Net values as a ``(batch, len(nets))`` 0/1 matrix."""
+        return unpack_bits(self._vals[np.array(list(nets), dtype=np.intp)], self.batch)
+
+    def get_output_bits(self, name: str) -> np.ndarray:
+        """Output port as a ``(batch, width)`` 0/1 matrix (LSB-first)."""
+        try:
+            nets = self.circuit.outputs[name]
+        except KeyError:
+            raise KeyError(
+                f"no output port {name!r}; ports: {sorted(self.circuit.outputs)}"
+            ) from None
+        return self.get_nets_bits(nets)
+
+    def get_output_ints(self, name: str) -> list[int]:
+        """Output port as one integer per run."""
+        from repro.utils.bits import bits_to_ints
+
+        return bits_to_ints(self.get_output_bits(name))

@@ -1,0 +1,69 @@
+"""Topological ordering of the combinational portion of a circuit.
+
+The clocked elements (DFF outputs) and primary inputs/constants are sources;
+combinational gates are ordered so every gate appears after its drivers.
+The simulator replays this order once per clock cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.netlist.gates import SOURCE_TYPES, Gate, GateType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.circuit import Circuit
+
+__all__ = ["combinational_order"]
+
+
+def combinational_order(circuit: "Circuit") -> list[Gate]:
+    """Kahn's algorithm over the combinational gates of ``circuit``.
+
+    Raises ``ValueError`` naming one gate on a combinational cycle if the
+    circuit has one (a latch loop that the single-clock model cannot
+    evaluate).
+    """
+    comb: list[Gate] = []
+    available: set[int] = set()
+    for gate in circuit.gates:
+        if gate.gtype in SOURCE_TYPES or gate.gtype is GateType.DFF:
+            available.add(gate.out)
+        else:
+            comb.append(gate)
+
+    # fanout map restricted to combinational gates
+    waiting: dict[int, list[Gate]] = {}
+    missing: dict[int, int] = {}
+    ready: deque[Gate] = deque()
+    for gate in comb:
+        need = 0
+        for net in gate.ins:
+            if net not in available:
+                waiting.setdefault(net, []).append(gate)
+                need += 1
+        # A gate reading the same not-yet-available net twice must be
+        # released only once both references are satisfied; counting
+        # references (not distinct nets) keeps the bookkeeping exact.
+        missing[id(gate)] = need
+        if need == 0:
+            ready.append(gate)
+
+    order: list[Gate] = []
+    while ready:
+        gate = ready.popleft()
+        order.append(gate)
+        for follower in waiting.get(gate.out, ()):
+            missing[id(follower)] -= 1
+            if missing[id(follower)] == 0:
+                ready.append(follower)
+
+    if len(order) != len(comb):
+        ordered_ids = {id(g) for g in order}
+        stuck = next(g for g in comb if id(g) not in ordered_ids)
+        raise ValueError(
+            f"combinational cycle detected (involves {stuck.gtype.name} "
+            f"gate driving net {stuck.out})"
+        )
+    return order

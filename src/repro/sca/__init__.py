@@ -1,0 +1,23 @@
+"""Side-channel evaluation (paper §IV-B.2).
+
+The paper claims the countermeasure "does not inherently leak side-channel
+information" and "does not open up any additional side channel
+vulnerability".  This package makes that checkable on the simulated
+netlists: a register-level power model captures per-cycle traces
+(Hamming-weight and Hamming-distance variants), and Welch's t-test performs
+the standard TVLA-style leakage assessment.
+
+The headline result (asserted by tests and the SCA bench): under the
+Hamming-*distance* model — the dominant dynamic-power component of CMOS —
+the encoding bit λ is *perfectly* invisible, because complementing a whole
+register complements both endpoints of every transition and
+``HD(x̄, ȳ) = HD(x, y)``.  Under a pure Hamming-*weight* model λ flips the
+weight (``HW(x̄) = n − HW(x)``) and is trivially visible, which is exactly
+why the ACISP'20 predecessor devotes a section to protecting λ's
+generation; see EXPERIMENTS.md.
+"""
+
+from repro.sca.power import LeakageModel, power_trace
+from repro.sca.ttest import max_abs_t, welch_t_test
+
+__all__ = ["LeakageModel", "max_abs_t", "power_trace", "welch_t_test"]

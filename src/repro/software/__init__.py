@@ -1,0 +1,30 @@
+"""Software (table-based) realisation of the countermeasure.
+
+The paper's §IV-A remark: *"the software performance will be similar to the
+underlying cipher in terms of code size (possibly marginally increased) and
+the required number of clock periods would be essentially the same"* —
+i.e. versus plain duplication, the randomised-duplication scheme is almost
+free in software too.
+
+This package provides an instrumented software PRESENT-80 (the kind of
+lookup-table implementation an embedded device would run), its naïve
+duplicated form, and the three-in-one form with merged 32-entry tables, so
+the claim becomes measurable: operation counts (table lookups, XORs,
+shifts) and table bytes are tracked per encryption, and software-level
+fault injection reproduces the SIFA/identical-fault behaviour of the
+hardware campaigns.
+"""
+
+from repro.software.present_sw import (
+    CostCounter,
+    ProtectedSoftwarePresent,
+    SoftwareFault,
+    SoftwarePresent,
+)
+
+__all__ = [
+    "CostCounter",
+    "ProtectedSoftwarePresent",
+    "SoftwareFault",
+    "SoftwarePresent",
+]

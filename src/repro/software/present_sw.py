@@ -1,0 +1,223 @@
+"""Instrumented software PRESENT-80 and its protected forms.
+
+Three implementations share one skeleton:
+
+- :class:`SoftwarePresent` — the baseline lookup-table implementation;
+- ``SoftwarePresent.encrypt_duplicated`` — naïve duplication in software
+  (run twice, compare, suppress);
+- :class:`ProtectedSoftwarePresent` — the paper's scheme: the actual run
+  in domain λ and the redundant run in λ̄, using a *merged* 32-entry S-box
+  table indexed by ``(λ << 4) | nibble`` (the software analogue of the
+  merged ``(n+1)×m`` S-box), with domain-transparent key addition and
+  permutation, decode-then-compare at the end.
+
+Every abstract operation (table lookup, XOR word, permutation, compare)
+ticks a :class:`CostCounter`, making the paper's "essentially the same
+cost as duplication" claim a measurable statement rather than a remark.
+Software fault injection (bit flips / stuck-ats on the state between
+steps) mirrors the hardware fault model closely enough to reproduce the
+SIFA ineffective-set bias and the identical-fault bypass in pure software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ciphers.present import PLAYER, ROUNDS, Present80
+from repro.ciphers.sbox import PRESENT_SBOX
+from repro.faults.models import FaultType
+from repro.rng import make_rng
+
+__all__ = [
+    "CostCounter",
+    "ProtectedSoftwarePresent",
+    "SoftwareFault",
+    "SoftwarePresent",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class CostCounter:
+    """Abstract operation counts for one (or more) encryptions."""
+
+    table_lookups: int = 0
+    xors: int = 0
+    permutations: int = 0
+    compares: int = 0
+    table_bytes: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.table_lookups + self.xors + self.permutations + self.compares
+
+    def merge_tables(self, *sizes: int) -> None:
+        self.table_bytes = sum(sizes)
+
+
+@dataclass(frozen=True)
+class SoftwareFault:
+    """A software-level fault: applied to the state of one computation.
+
+    ``round_`` is 1-based; the fault hits the state *entering* that
+    round's S-box layer (matching the hardware campaigns' targeting of
+    S-box input lines).  ``computation`` selects the run: 0 = actual,
+    1 = redundant (ignored by the unprotected implementation).
+    """
+
+    bit: int
+    fault_type: FaultType
+    round_: int
+    computation: int = 0
+
+    def apply(self, state: int) -> int:
+        mask = 1 << self.bit
+        if self.fault_type in (FaultType.STUCK_AT_0, FaultType.RESET_FLIP):
+            return state & ~mask
+        if self.fault_type in (FaultType.STUCK_AT_1, FaultType.SET_FLIP):
+            return state | mask
+        return state ^ mask
+
+
+class SoftwarePresent:
+    """Baseline table-based PRESENT-80 with instrumentation.
+
+    ``table_fault=(index, value)`` corrupts one S-box ROM entry
+    *persistently* — the Persistent Fault Attack model (paper §IV-B.5,
+    ref [21]): the same corrupted table then serves **both** computations
+    of :meth:`encrypt_duplicated` (the shared-ROM implementation PFA
+    exploits), so duplication never notices.
+    """
+
+    def __init__(
+        self, key: int, *, table_fault: tuple[int, int] | None = None
+    ) -> None:
+        self.reference = Present80(key)
+        self.round_keys = self.reference.round_keys
+        self.sbox_table = list(PRESENT_SBOX.table)
+        if table_fault is not None:
+            index, value = table_fault
+            self.sbox_table[index] = value
+        self.counter = CostCounter()
+        self.counter.merge_tables(len(self.sbox_table))
+
+    # -- primitive steps (each ticks the counter) -------------------------
+
+    def _add_key(self, state: int, rk: int) -> int:
+        self.counter.xors += 1
+        return state ^ rk
+
+    def _sbox_layer(self, state: int, table) -> int:
+        out = 0
+        for nib in range(16):
+            self.counter.table_lookups += 1
+            out |= table[(state >> (4 * nib)) & 0xF] << (4 * nib)
+        return out
+
+    def _perm(self, state: int) -> int:
+        self.counter.permutations += 1
+        out = 0
+        for i in range(64):
+            if (state >> i) & 1:
+                out |= 1 << PLAYER[i]
+        return out
+
+    # -- encryptions -------------------------------------------------------
+
+    def encrypt(
+        self, plaintext: int, *, fault: SoftwareFault | None = None
+    ) -> int:
+        """One unprotected encryption (optionally faulted)."""
+        state = plaintext & _MASK64
+        for rnd in range(ROUNDS):
+            state = self._add_key(state, self.round_keys[rnd])
+            if fault is not None and fault.round_ == rnd + 1:
+                state = fault.apply(state)
+            state = self._sbox_layer(state, self.sbox_table)
+            state = self._perm(state)
+        return self._add_key(state, self.round_keys[ROUNDS])
+
+    def encrypt_duplicated(
+        self, plaintext: int, *, faults: tuple[SoftwareFault, ...] = ()
+    ) -> tuple[int | None, bool]:
+        """Naïve duplication: run twice, compare, suppress on mismatch.
+
+        Returns ``(released, detected)`` — released is None when suppressed.
+        """
+        by_comp = {0: None, 1: None}
+        for fault in faults:
+            by_comp[fault.computation] = fault
+        actual = self.encrypt(plaintext, fault=by_comp[0])
+        redundant = self.encrypt(plaintext, fault=by_comp[1])
+        self.counter.compares += 1
+        if actual != redundant:
+            return None, True
+        return actual, False
+
+
+class ProtectedSoftwarePresent(SoftwarePresent):
+    """The three-in-one countermeasure as a software routine.
+
+    The merged table has 32 entries: index ``(λ << 4) | x`` returns
+    ``S(x)`` for λ = 0 and ``S(x̄)‾`` for λ = 1, so the inner loop is the
+    *same code* as the baseline with a different table base offset — which
+    is exactly why the paper can claim near-zero software overhead.
+    """
+
+    def __init__(
+        self, key: int, *, merged_table_fault: tuple[int, int] | None = None
+    ) -> None:
+        super().__init__(key)
+        merged = PRESENT_SBOX.merged_truthtable()
+        self.merged_table = list(merged.table)
+        if merged_table_fault is not None:
+            # A persistent fault in the merged ROM (index 0..31).  The two
+            # computations read *different halves* of the table (domains λ
+            # and λ̄), so a corrupted entry can only ever poison one of them
+            # per invocation — the comparator catches every use.
+            index, value = merged_table_fault
+            self.merged_table[index] = value
+        self.counter.merge_tables(len(self.sbox_table), len(self.merged_table))
+
+    def _encode(self, value: int, lam: int) -> int:
+        self.counter.xors += 1
+        return value ^ (_MASK64 if lam else 0)
+
+    def _protected_run(
+        self, plaintext: int, lam: int, fault: SoftwareFault | None
+    ) -> int:
+        """One computation in domain ``lam``; returns the *decoded* output."""
+        offset = 16 if lam else 0
+        table = self.merged_table[offset : offset + 16]
+        state = self._encode(plaintext, lam)
+        for rnd in range(ROUNDS):
+            state = self._add_key(state, self.round_keys[rnd])
+            if fault is not None and fault.round_ == rnd + 1:
+                state = fault.apply(state)
+            state = self._sbox_layer(state, table)
+            state = self._perm(state)
+        state = self._add_key(state, self.round_keys[ROUNDS])
+        return self._encode(state, lam)
+
+    def encrypt_protected(
+        self,
+        plaintext: int,
+        *,
+        lam: int | None = None,
+        rng=None,
+        faults: tuple[SoftwareFault, ...] = (),
+    ) -> tuple[int | None, bool]:
+        """Algorithm 1 in software: λ for the actual run, λ̄ for the
+        redundant run, compare decoded outputs, suppress on mismatch."""
+        if lam is None:
+            lam = int(make_rng(rng).integers(2))
+        by_comp = {0: None, 1: None}
+        for fault in faults:
+            by_comp[fault.computation] = fault
+        actual = self._protected_run(plaintext, lam, by_comp[0])
+        redundant = self._protected_run(plaintext, lam ^ 1, by_comp[1])
+        self.counter.compares += 1
+        if actual != redundant:
+            return None, True
+        return actual, False

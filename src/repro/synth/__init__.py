@@ -1,0 +1,19 @@
+"""Combinational logic synthesis: truth tables to technology-mapped gates.
+
+The authors synthesised their designs with a commercial flow targeting the
+Nangate 45nm PDK; this subpackage is our open substitute.  It offers three
+synthesis engines with different area/effort trade-offs — recursive Shannon
+decomposition with hash-consing, reduced ordered BDDs lowered to mux trees,
+and a Quine–McCluskey two-level minimiser — plus netlist optimisation passes
+(constant propagation, structural hashing, inverter-pair elimination, dead
+gate removal) applied after every engine.
+
+The front door for cipher work is :func:`repro.synth.sbox_synth.synthesize_sbox`.
+"""
+
+from repro.synth.bdd import BDD
+from repro.synth.optimize import optimize
+from repro.synth.sbox_synth import synthesize_sbox, verify_sbox_circuit
+from repro.synth.truthtable import TruthTable
+
+__all__ = ["BDD", "TruthTable", "optimize", "synthesize_sbox", "verify_sbox_circuit"]

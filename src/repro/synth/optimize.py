@@ -1,0 +1,279 @@
+"""Post-synthesis netlist optimisation passes.
+
+These operate on whole circuits (the construction-time folding in
+:class:`~repro.synth.gatecache.GateCache` only sees gates it built itself).
+The pass pipeline is deliberately conservative — semantics-preserving
+rewrites only:
+
+- ``fold_constants``   — evaluate gates with constant inputs, simplify
+  identities (``x ^ x``, ``x & x``, mux with equal branches, …);
+- ``dedupe``           — structural hashing across the whole netlist;
+- ``strip_buffers``    — forward BUF and double-NOT chains;
+- ``dead_code``        — drop logic that cannot reach an output or a
+  register that (transitively) feeds an output.
+
+:func:`optimize` iterates the pipeline to a fixpoint.  Ports, flip-flops
+and gate tags survive all passes; only the combinational structure changes.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+
+__all__ = ["optimize", "dead_code", "rebuild"]
+
+
+def optimize(circuit: Circuit, *, max_rounds: int = 8) -> Circuit:
+    """Run the full pass pipeline to a fixpoint (bounded by ``max_rounds``)."""
+    current = circuit
+    for _ in range(max_rounds):
+        before = len(current.gates)
+        current = rebuild(current)
+        current = dead_code(current)
+        if len(current.gates) >= before:
+            break
+    return current
+
+
+def rebuild(circuit: Circuit) -> Circuit:
+    """One combined folding + hashing + buffer-forwarding sweep.
+
+    Produces a fresh circuit; nets are renumbered.  Gates are visited in
+    dependency order so every input is already simplified when a gate is
+    reconsidered, making a single sweep equivalent to iterate-to-local-
+    fixpoint of the classic rules.
+    """
+    out = Circuit(circuit.name)
+    subst: dict[int, int] = {}  # old net -> new net
+    cache: dict[tuple, int] = {}
+    compl: dict[int, int] = {}
+    const_val: dict[int, int] = {}  # new net -> 0/1 when known constant
+
+    def is_const(net: int) -> int | None:
+        return const_val.get(net)
+
+    def mk_const(value: int) -> int:
+        net = out.const(value)
+        const_val[net] = value
+        return net
+
+    def mk_not(a: int) -> int:
+        known = is_const(a)
+        if known is not None:
+            return mk_const(known ^ 1)
+        if a in compl:
+            return compl[a]
+        net = _emit(GateType.NOT, (a,), "")
+        compl[a] = net
+        compl[net] = a
+        return net
+
+    def _emit(gtype: GateType, ins: tuple[int, ...], tag: str) -> int:
+        key_ins = tuple(sorted(ins)) if gtype in _COMM else ins
+        key = (gtype, key_ins)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        net = out.add_gate(gtype, ins, tag=tag)
+        cache[key] = net
+        return net
+
+    def fold(gate: Gate, ins: tuple[int, ...]) -> int:
+        g = gate.gtype
+        consts = [is_const(n) for n in ins]
+        if all(c is not None for c in consts):
+            return mk_const(g.eval(*consts))  # type: ignore[arg-type]
+        if g is GateType.BUF:
+            return ins[0]
+        if g is GateType.NOT:
+            return mk_not(ins[0])
+        if g in (GateType.AND, GateType.NAND):
+            a, b = ins
+            ca, cb = consts
+            if a == b:
+                base = a
+            elif ca == 0 or cb == 0 or compl.get(a) == b:
+                base = mk_const(0)
+            elif ca == 1:
+                base = b
+            elif cb == 1:
+                base = a
+            else:
+                base = _emit(GateType.AND, ins, gate.tag)
+            return mk_not(base) if g is GateType.NAND else base
+        if g in (GateType.OR, GateType.NOR):
+            a, b = ins
+            ca, cb = consts
+            if a == b:
+                base = a
+            elif ca == 1 or cb == 1 or compl.get(a) == b:
+                base = mk_const(1)
+            elif ca == 0:
+                base = b
+            elif cb == 0:
+                base = a
+            else:
+                base = _emit(GateType.OR, ins, gate.tag)
+            return mk_not(base) if g is GateType.NOR else base
+        if g in (GateType.XOR, GateType.XNOR):
+            a, b = ins
+            ca, cb = consts
+            if a == b:
+                base = mk_const(0)
+            elif compl.get(a) == b:
+                base = mk_const(1)
+            elif ca == 0:
+                base = b
+            elif cb == 0:
+                base = a
+            elif ca == 1:
+                base = mk_not(b)
+            elif cb == 1:
+                base = mk_not(a)
+            else:
+                base = _emit(GateType.XOR, ins, gate.tag)
+            return mk_not(base) if g is GateType.XNOR else base
+        if g is GateType.MUX:
+            sel, d0, d1 = ins
+            cs = consts[0]
+            if cs == 0:
+                return d0
+            if cs == 1:
+                return d1
+            if d0 == d1:
+                return d0
+            if is_const(d0) == 0 and is_const(d1) == 1:
+                return sel
+            if is_const(d0) == 1 and is_const(d1) == 0:
+                return mk_not(sel)
+            if is_const(d0) == 0:
+                return _emit(GateType.AND, (sel, d1), gate.tag)
+            if is_const(d1) == 0:
+                return _emit(GateType.AND, (mk_not(sel), d0), gate.tag)
+            if is_const(d0) == 1:
+                return _emit(GateType.OR, (mk_not(sel), d1), gate.tag)
+            if is_const(d1) == 1:
+                return _emit(GateType.OR, (sel, d0), gate.tag)
+            if compl.get(d0) == d1:
+                return _emit(GateType.XNOR, (sel, d1), gate.tag)
+            return _emit(GateType.MUX, ins, gate.tag)
+        raise AssertionError(f"unhandled gate type {g}")  # pragma: no cover
+
+    # Sources first (including DFF outputs), then combinational in topo
+    # order, then register the DFFs with their (now simplified) D inputs.
+    dff_new_q: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.gtype is GateType.INPUT:
+            subst[gate.out] = out.new_net()
+        elif gate.gtype is GateType.CONST0:
+            subst[gate.out] = mk_const(0)
+        elif gate.gtype is GateType.CONST1:
+            subst[gate.out] = mk_const(1)
+        elif gate.gtype is GateType.DFF:
+            q = out.new_net()
+            subst[gate.out] = q
+            dff_new_q[gate.out] = q
+
+    # Re-register INPUT gates & ports with the pre-allocated nets.
+    for name, nets in circuit.inputs.items():
+        new_nets = []
+        for i, old in enumerate(nets):
+            net = subst[old]
+            out.add_gate(GateType.INPUT, out=net, tag=f"{name}[{i}]")
+            new_nets.append(net)
+        out.inputs[name] = new_nets
+
+    for gate in circuit.topo_order():
+        ins = tuple(subst[n] for n in gate.ins)
+        subst[gate.out] = fold(gate, ins)
+
+    for gate in circuit.dffs():
+        d = subst[gate.ins[0]]
+        out.add_gate(
+            GateType.DFF,
+            (d,),
+            out=dff_new_q[gate.out],
+            init=gate.init,
+            tag=gate.tag,
+        )
+
+    for name, nets in circuit.outputs.items():
+        out.set_output(name, [subst[n] for n in nets])
+    out.validate()
+    return out
+
+
+_COMM = {GateType.AND, GateType.OR, GateType.XOR, GateType.XNOR}
+
+
+def dead_code(circuit: Circuit) -> Circuit:
+    """Remove gates that cannot influence any output.
+
+    Reachability runs backwards from output ports, crossing registers:
+    a DFF is live iff its Q net is read by live logic.  Primary inputs are
+    always kept (ports are part of the interface even when unused).
+    """
+    drivers = {g.out: g for g in circuit.gates}
+    live: set[int] = set()
+    work = [n for nets in circuit.outputs.values() for n in nets]
+    while work:
+        net = work.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = drivers.get(net)
+        if gate is not None:
+            work.extend(gate.ins)
+
+    out = Circuit(circuit.name)
+    subst: dict[int, int] = {}
+
+    def map_net(old: int) -> int:
+        if old not in subst:
+            subst[old] = out.new_net()
+        return subst[old]
+
+    # keep port order and all input bits (interface stability)
+    for name, nets in circuit.inputs.items():
+        new_nets = []
+        for i, old in enumerate(nets):
+            net = map_net(old)
+            out.add_gate(GateType.INPUT, out=net, tag=f"{name}[{i}]")
+            new_nets.append(net)
+        out.inputs[name] = new_nets
+
+    # pre-allocate DFF outputs so feedback resolves
+    for gate in circuit.dffs():
+        if gate.out in live:
+            map_net(gate.out)
+
+    for gate in circuit.gates:
+        if gate.gtype is GateType.INPUT or gate.out not in live:
+            continue
+        if gate.gtype is GateType.CONST0:
+            subst[gate.out] = out.const(0)
+        elif gate.gtype is GateType.CONST1:
+            subst[gate.out] = out.const(1)
+
+    for gate in circuit.topo_order():
+        if gate.out not in live:
+            continue
+        ins = tuple(subst[n] for n in gate.ins)
+        out.add_gate(gate.gtype, ins, out=map_net(gate.out), tag=gate.tag)
+
+    for gate in circuit.dffs():
+        if gate.out not in live:
+            continue
+        out.add_gate(
+            GateType.DFF,
+            (subst[gate.ins[0]],),
+            out=subst[gate.out],
+            init=gate.init,
+            tag=gate.tag,
+        )
+
+    for name, nets in circuit.outputs.items():
+        out.set_output(name, [subst[n] for n in nets])
+    out.validate()
+    return out

@@ -1,0 +1,102 @@
+"""Front door for combinational synthesis of S-boxes (and any truth table).
+
+``synthesize_sbox`` turns a :class:`TruthTable` into a standalone, optimised
+:class:`Circuit` with one input port ``x`` and one output port ``y``.
+Cipher generators then stamp the result into their datapaths with
+:meth:`CircuitBuilder.append_circuit`, so each distinct S-box is synthesised
+once no matter how many instances the datapath needs.
+
+Strategies
+----------
+``shannon``   recursive Shannon decomposition (default; best all-rounder)
+``bdd``       shared-ROBDD lowering (identical sharing, useful as an oracle)
+``twolevel``  Quine–McCluskey SOP (independent oracle; big but flat)
+``auto``      synthesise with every engine and keep the smallest result
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulator import Simulator
+from repro.synth.bdd import bdd_synthesize_into
+from repro.synth.gatecache import GateCache
+from repro.synth.optimize import optimize
+from repro.synth.shannon import shannon_synthesize_into
+from repro.synth.truthtable import TruthTable
+from repro.synth.twolevel import twolevel_synthesize_into
+
+__all__ = ["STRATEGIES", "synthesize_sbox", "verify_sbox_circuit"]
+
+STRATEGIES = ("shannon", "bdd", "twolevel", "auto")
+
+
+def synthesize_sbox(
+    table: TruthTable,
+    *,
+    strategy: str = "shannon",
+    name: str = "sbox",
+    var_order: Sequence[int] | None = None,
+    optimize_result: bool = True,
+) -> Circuit:
+    """Synthesise ``table`` into a fresh circuit (ports ``x`` → ``y``).
+
+    The returned circuit is verified exhaustively against the table before
+    being handed back — a wrong netlist is a bug, not a degraded result, so
+    this raises rather than warns.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+    if strategy == "auto":
+        candidates = [
+            synthesize_sbox(
+                table,
+                strategy=s,
+                name=name,
+                var_order=var_order,
+                optimize_result=optimize_result,
+            )
+            for s in ("shannon", "bdd", "twolevel")
+        ]
+        from repro.tech.area import area_of
+
+        return min(candidates, key=lambda c: area_of(c).total)
+
+    builder = CircuitBuilder(name)
+    inputs = builder.input("x", table.n_inputs)
+    cache = GateCache(builder)
+    if strategy == "shannon":
+        outputs = shannon_synthesize_into(cache, table, inputs, var_order=var_order)
+    elif strategy == "bdd":
+        outputs = bdd_synthesize_into(cache, table, inputs, var_order=var_order)
+    else:
+        outputs = twolevel_synthesize_into(cache, table, inputs)
+    builder.output("y", outputs)
+
+    circuit = builder.circuit
+    if optimize_result:
+        circuit = optimize(circuit)
+    verify_sbox_circuit(circuit, table)
+    return circuit
+
+
+def verify_sbox_circuit(circuit: Circuit, table: TruthTable) -> None:
+    """Exhaustively check that ``circuit`` computes ``table`` (or raise).
+
+    Uses the bit-parallel simulator with one lane per input pattern, so even
+    the 9-input merged AES S-box (512 patterns) verifies in one pass.
+    """
+    n = table.n_inputs
+    patterns = list(range(1 << n))
+    sim = Simulator(circuit, batch=len(patterns))
+    sim.set_input_ints("x", patterns)
+    sim.eval_comb()
+    got = sim.get_output_ints("y")
+    for x, value in enumerate(got):
+        if value != table(x):
+            raise AssertionError(
+                f"synthesised circuit wrong at x={x:#x}: got {value:#x}, "
+                f"expected {table(x):#x}"
+            )

@@ -1,0 +1,106 @@
+"""Shannon-decomposition synthesis.
+
+Each output column is decomposed recursively on one variable at a time:
+``f = v ? f|v=1 : f|v=0``.  Sub-functions are memoised on their column mask,
+so shared logic between cofactors (and between the ``m`` outputs of an
+S-box) is built exactly once, and all gates flow through
+:class:`~repro.synth.gatecache.GateCache` so constants, literals and
+complementary branches fold into cheaper cells (AND/OR/XOR/XNOR) instead of
+muxes.
+
+This engine is the workhorse for the paper's merged ``(n+1) × m`` S-boxes:
+it handles the AES case (9 inputs, 8 outputs, 512-entry table) in well under
+a second and its output is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.synth.gatecache import GateCache
+from repro.synth.truthtable import TruthTable
+
+__all__ = ["shannon_synthesize_into"]
+
+
+def shannon_synthesize_into(
+    cache: GateCache,
+    table: TruthTable,
+    input_nets: Sequence[int],
+    *,
+    var_order: Sequence[int] | None = None,
+) -> list[int]:
+    """Emit logic computing ``table`` over ``input_nets``; returns output nets.
+
+    ``var_order`` lists input variable indices from the *top* of the
+    decomposition down (first entry is split first).  The default splits on
+    the highest-numbered variable first, which for the merged S-boxes puts
+    the λ bit at the root — matching the intuition that the merged box is a
+    select between two sub-boxes, while still letting the cache share logic
+    between the two domains.
+    """
+    if len(input_nets) != table.n_inputs:
+        raise ValueError(
+            f"expected {table.n_inputs} input nets, got {len(input_nets)}"
+        )
+    order = list(var_order) if var_order is not None else list(
+        reversed(range(table.n_inputs))
+    )
+    if sorted(order) != list(range(table.n_inputs)):
+        raise ValueError(f"var_order must permute 0..{table.n_inputs - 1}: {order}")
+
+    memo: dict[tuple[int, int], int] = {}
+
+    def build(mask: int, depth: int) -> int:
+        """Synthesise the sub-function ``mask`` over variables order[depth:]."""
+        n_vars = table.n_inputs - depth
+        size = 1 << n_vars
+        full = (1 << size) - 1
+        if mask == 0:
+            return cache.zero
+        if mask == full:
+            return cache.one
+        key = (mask, depth)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+
+        # Split on order[depth].  The mask is indexed by the *original*
+        # variable numbering restricted to the remaining variables in
+        # ascending order; translate the split variable to its bit position
+        # within that numbering.
+        remaining = sorted(order[depth:])
+        var = order[depth]
+        pos = remaining.index(var)
+
+        lo_mask, hi_mask = _cofactor(mask, size, pos)
+        if lo_mask == hi_mask:
+            net = build(lo_mask, depth + 1)
+        else:
+            lo = build(lo_mask, depth + 1)
+            hi = build(hi_mask, depth + 1)
+            net = cache.g_mux(input_nets[var], lo, hi)
+        memo[key] = net
+        return net
+
+    return [build(table.column(j), 0) for j in range(table.n_outputs)]
+
+
+def _cofactor(mask: int, size: int, pos: int) -> tuple[int, int]:
+    """Cofactors of a column mask w.r.t. variable at bit position ``pos``.
+
+    Returns ``(f|pos=0, f|pos=1)`` as masks over ``size // 2`` entries, with
+    the remaining variables renumbered by dropping bit ``pos``.
+    """
+    half = size >> 1
+    lo = hi = 0
+    out_idx = 0
+    for x in range(size):
+        if (x >> pos) & 1:
+            continue
+        x_hi = x | (1 << pos)
+        lo |= ((mask >> x) & 1) << out_idx
+        hi |= ((mask >> x_hi) & 1) << out_idx
+        out_idx += 1
+    assert out_idx == half
+    return lo, hi

@@ -1,0 +1,224 @@
+"""Two-level (SOP) synthesis: Quine–McCluskey + cover selection.
+
+Classic flow: enumerate prime implicants of each output column, select a
+cover (exact Petrick's method for small problems, greedy set-cover above a
+threshold), then emit a shared AND/OR network.  Product terms are built
+through the :class:`~repro.synth.gatecache.GateCache`, so cubes shared
+between outputs — ubiquitous in S-boxes — cost their gates once.
+
+Two-level synthesis is rarely the area winner for S-boxes, but it is an
+independent oracle: every engine must agree with every other on every input
+pattern, which the property tests exploit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+from repro.synth.gatecache import GateCache
+from repro.synth.truthtable import TruthTable
+
+__all__ = ["Cube", "prime_implicants", "select_cover", "twolevel_synthesize_into"]
+
+
+class Cube:
+    """A product term over ``n`` variables: (care-mask, value-mask).
+
+    Variable ``i`` appears in the product iff bit ``i`` of ``care`` is set;
+    it appears complemented when bit ``i`` of ``value`` is 0.
+    """
+
+    __slots__ = ("care", "value")
+
+    def __init__(self, care: int, value: int) -> None:
+        if value & ~care:
+            raise ValueError("value bits outside care mask")
+        self.care = care
+        self.value = value
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & self.care) == self.value
+
+    def literals(self, n: int) -> list[tuple[int, bool]]:
+        """(variable, positive?) pairs of this product term."""
+        return [
+            (i, bool((self.value >> i) & 1))
+            for i in range(n)
+            if (self.care >> i) & 1
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return self.care == other.care and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.care, self.value))
+
+    def __repr__(self) -> str:
+        return f"Cube(care={self.care:#x}, value={self.value:#x})"
+
+
+def prime_implicants(n: int, minterms: Sequence[int]) -> list[Cube]:
+    """All prime implicants of the on-set ``minterms`` (no don't-cares).
+
+    Standard Quine–McCluskey merging: cubes differing in exactly one cared
+    literal combine; cubes that never combine are prime.
+    """
+    minterms = sorted(set(minterms))
+    if not minterms:
+        return []
+    full_care = (1 << n) - 1
+    current: set[tuple[int, int]] = {(full_care, m) for m in minterms}
+    primes: set[tuple[int, int]] = set()
+
+    while current:
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        by_care: dict[int, list[tuple[int, int]]] = {}
+        for cube in current:
+            by_care.setdefault(cube[0], []).append(cube)
+        for care, group in by_care.items():
+            # group by value with one cared bit cleared: two cubes merge iff
+            # same care mask and values differ in exactly one cared bit.
+            seen: dict[int, list[int]] = {}
+            for _, value in group:
+                seen.setdefault(value, [])
+            values = sorted(seen)
+            value_set = set(values)
+            for value in values:
+                for i in range(n):
+                    bit = 1 << i
+                    if not (care & bit) or (value & bit):
+                        continue
+                    partner = value | bit
+                    if partner in value_set:
+                        merged.add((care & ~bit, value))
+                        used.add((care, value))
+                        used.add((care, partner))
+        primes.update(current - used)
+        current = merged
+    return [Cube(c, v) for c, v in sorted(primes)]
+
+
+def select_cover(
+    n: int,
+    minterms: Sequence[int],
+    primes: Sequence[Cube],
+    *,
+    exact_limit: int = 14,
+) -> list[Cube]:
+    """Choose a set of primes covering all minterms.
+
+    Essential primes are taken first.  The residual covering problem is
+    solved exactly by Petrick's method when small (≤ ``exact_limit``
+    residual minterms), otherwise by greedy largest-cover-first — adequate
+    for S-box-sized problems and never incorrect, only possibly non-minimal.
+    """
+    minterms = sorted(set(minterms))
+    if not minterms:
+        return []
+    cover_map = {m: [c for c in primes if c.covers(m)] for m in minterms}
+    for m, covering in cover_map.items():
+        if not covering:
+            raise ValueError(f"minterm {m} not covered by any prime implicant")
+
+    chosen: list[Cube] = []
+    covered: set[int] = set()
+    for m, covering in cover_map.items():
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for cube in chosen:
+        covered.update(m for m in minterms if cube.covers(m))
+
+    remaining = [m for m in minterms if m not in covered]
+    if not remaining:
+        return chosen
+    n_candidates = len({c for m in remaining for c in cover_map[m]})
+    if len(remaining) <= exact_limit and n_candidates <= 16:
+        chosen.extend(_petrick(remaining, cover_map))
+    else:
+        chosen.extend(_greedy(remaining, primes))
+    return chosen
+
+
+def _petrick(remaining: Sequence[int], cover_map: dict[int, list[Cube]]) -> list[Cube]:
+    """Exact minimum cover of the residual minterms (Petrick's method)."""
+    candidates: list[Cube] = []
+    for m in remaining:
+        for cube in cover_map[m]:
+            if cube not in candidates:
+                candidates.append(cube)
+    for size in range(1, len(candidates) + 1):
+        best: list[Cube] | None = None
+        for subset in combinations(candidates, size):
+            if all(any(c.covers(m) for c in subset) for m in remaining):
+                best = list(subset)
+                break
+        if best is not None:
+            return best
+    raise AssertionError("residual cover must exist")  # pragma: no cover
+
+
+def _greedy(remaining: Sequence[int], primes: Sequence[Cube]) -> list[Cube]:
+    """Largest-gain-first greedy cover for big residual problems."""
+    todo = set(remaining)
+    out: list[Cube] = []
+    while todo:
+        best = max(primes, key=lambda c: sum(1 for m in todo if c.covers(m)))
+        gained = {m for m in todo if best.covers(m)}
+        if not gained:
+            raise AssertionError("no prime covers residual minterms")
+        out.append(best)
+        todo -= gained
+    return out
+
+
+def twolevel_synthesize_into(
+    cache: GateCache,
+    table: TruthTable,
+    input_nets: Sequence[int],
+) -> list[int]:
+    """Emit a minimised SOP network for ``table``; returns output nets.
+
+    Each output with more ones than zeros is synthesised complemented (SOP
+    of the off-set plus a final inverter) — the classic phase-assignment
+    trick that roughly halves average cube count on random functions.
+    """
+    if len(input_nets) != table.n_inputs:
+        raise ValueError(
+            f"expected {table.n_inputs} input nets, got {len(input_nets)}"
+        )
+    n = table.n_inputs
+    size = 1 << n
+    outputs: list[int] = []
+    for j in range(table.n_outputs):
+        ones = table.minterms(j)
+        invert = len(ones) > size // 2
+        target = [x for x in range(size) if x not in set(ones)] if invert else ones
+        if not target:
+            net = cache.zero if not invert else cache.one
+            outputs.append(net)
+            continue
+        primes = prime_implicants(n, target)
+        cover = select_cover(n, target, primes)
+        terms = [_emit_cube(cache, cube, input_nets, n) for cube in cover]
+        net = terms[0]
+        for term in terms[1:]:
+            net = cache.g_or(net, term)
+        outputs.append(cache.g_not(net) if invert else net)
+    return outputs
+
+
+def _emit_cube(cache: GateCache, cube: Cube, input_nets: Sequence[int], n: int) -> int:
+    literals = [
+        input_nets[i] if positive else cache.g_not(input_nets[i])
+        for i, positive in cube.literals(n)
+    ]
+    if not literals:
+        return cache.one
+    net = literals[0]
+    for lit in literals[1:]:
+        net = cache.g_and(net, lit)
+    return net

@@ -1,0 +1,14 @@
+"""Gate-equivalent area accounting (the synthesis-report substitute).
+
+The paper reports area in *gate equivalents* (GE) — cell area divided by the
+area of a NAND2 — for designs mapped to the open Nangate 45nm PDK.  We carry
+the same convention: every cell type has a GE cost derived from the Nangate
+45nm Open Cell Library datasheet, and circuits are priced by summing their
+cells, split into combinational and non-combinational (flip-flop) totals
+exactly as the paper's Table II does.
+"""
+
+from repro.tech.library import NANGATE45, PAPER_CALIBRATED, CellLibrary
+from repro.tech.area import AreaReport, area_of
+
+__all__ = ["AreaReport", "CellLibrary", "NANGATE45", "PAPER_CALIBRATED", "area_of"]

@@ -1,0 +1,69 @@
+"""Area reports in gate equivalents, in the format of the paper's Table II."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.tech.library import PAPER_CALIBRATED, CellLibrary
+
+__all__ = ["AreaReport", "area_of"]
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """GE totals for one design, split the way the paper reports them."""
+
+    design: str
+    library: str
+    combinational: float
+    non_combinational: float
+    cell_counts: dict[str, int]
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.non_combinational
+
+    def ratio_to(self, baseline: "AreaReport") -> float:
+        """Total-area overhead factor relative to ``baseline`` (1.00 = equal)."""
+        if baseline.total == 0:
+            raise ZeroDivisionError("baseline design has zero area")
+        return self.total / baseline.total
+
+    def __str__(self) -> str:
+        return (
+            f"{self.design}: comb={self.combinational:.0f} GE, "
+            f"non-comb={self.non_combinational:.0f} GE, "
+            f"total={self.total:.0f} GE [{self.library}]"
+        )
+
+
+def area_of(
+    circuit: Circuit, *, library: CellLibrary = PAPER_CALIBRATED
+) -> AreaReport:
+    """Price every cell of ``circuit`` with ``library``.
+
+    Inputs and constants are free (see the library module docstring); all
+    other cells contribute their GE to the combinational or
+    non-combinational bucket.
+    """
+    comb = 0.0
+    seq = 0.0
+    counts: Counter[str] = Counter()
+    for gate in circuit.gates:
+        cost = library.cost(gate.gtype)
+        if cost == 0.0:
+            continue
+        counts[gate.gtype.value] += 1
+        if library.is_sequential(gate.gtype):
+            seq += cost
+        else:
+            comb += cost
+    return AreaReport(
+        design=circuit.name,
+        library=library.name,
+        combinational=comb,
+        non_combinational=seq,
+        cell_counts=dict(counts),
+    )

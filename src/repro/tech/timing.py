@@ -1,0 +1,109 @@
+"""Static timing analysis: critical path and clock-period estimate.
+
+The paper's §IV-A remark — "the required number of clock periods would be
+essentially the same" — has a hardware cousin worth checking: does the
+countermeasure stretch the *critical path* (and hence the clock period)?
+Both designs run the same cycle count, so total latency scales with the
+longest register-to-register combinational delay.
+
+Delays are a unit-less normalised model derived from Nangate 45nm X1-drive
+typical propagation delays (NAND2 ≈ 1.0); absolute picoseconds depend on
+load and corner, but path *ratios* between two designs mapped to the same
+cells are meaningful, which is all the comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+
+__all__ = ["TimingReport", "CELL_DELAY", "critical_path"]
+
+#: normalised propagation delay per cell (NAND2 = 1.0)
+CELL_DELAY: dict[GateType, float] = {
+    GateType.INPUT: 0.0,
+    GateType.CONST0: 0.0,
+    GateType.CONST1: 0.0,
+    GateType.BUF: 1.0,
+    GateType.NOT: 0.6,
+    GateType.AND: 1.3,
+    GateType.OR: 1.3,
+    GateType.NAND: 1.0,
+    GateType.NOR: 1.1,
+    GateType.XOR: 1.9,
+    GateType.XNOR: 1.9,
+    GateType.MUX: 1.7,
+    GateType.DFF: 1.6,  # clk->Q; counted once at the path start
+}
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Longest register-to-register (or port-to-port) path of a design."""
+
+    design: str
+    delay: float
+    #: gates along the critical path, source first
+    path: tuple[str, ...]
+
+    def ratio_to(self, baseline: "TimingReport") -> float:
+        if baseline.delay == 0:
+            raise ZeroDivisionError("baseline has zero delay")
+        return self.delay / baseline.delay
+
+    def __str__(self) -> str:
+        return (
+            f"{self.design}: critical path {self.delay:.1f} "
+            f"(NAND2-normalised), {len(self.path)} stages"
+        )
+
+
+def critical_path(circuit: Circuit) -> TimingReport:
+    """Longest combinational delay from any source to any sink.
+
+    Sources are primary inputs (arrival 0) and DFF outputs (arrival =
+    clk→Q).  Sinks are DFF inputs and primary outputs.  Wire delay is
+    folded into the cell delays, as in any zeroth-order pre-layout
+    estimate.
+    """
+    arrival: dict[int, float] = {}
+    via: dict[int, Gate | None] = {}
+    for gate in circuit.gates:
+        if gate.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            arrival[gate.out] = 0.0
+            via[gate.out] = gate
+        elif gate.gtype is GateType.DFF:
+            arrival[gate.out] = CELL_DELAY[GateType.DFF]
+            via[gate.out] = gate
+
+    for gate in circuit.topo_order():
+        worst_in = max((arrival.get(n, 0.0) for n in gate.ins), default=0.0)
+        arrival[gate.out] = worst_in + CELL_DELAY[gate.gtype]
+        via[gate.out] = gate
+
+    sinks: list[int] = [g.ins[0] for g in circuit.dffs()]
+    for nets in circuit.outputs.values():
+        sinks.extend(nets)
+    if not sinks:
+        return TimingReport(design=circuit.name, delay=0.0, path=())
+
+    end = max(sinks, key=lambda n: arrival.get(n, 0.0))
+    # walk the path backwards through worst-arrival inputs
+    path: list[str] = []
+    net = end
+    while True:
+        gate = via.get(net)
+        if gate is None:
+            break
+        label = gate.tag or gate.gtype.value
+        path.append(f"{gate.gtype.value}({label})")
+        if not gate.ins or gate.gtype is GateType.DFF:
+            break
+        net = max(gate.ins, key=lambda n: arrival.get(n, 0.0))
+    return TimingReport(
+        design=circuit.name,
+        delay=arrival.get(end, 0.0),
+        path=tuple(reversed(path)),
+    )

@@ -1,0 +1,21 @@
+"""Shared low-level helpers (bit packing, integer/bit-vector conversion)."""
+
+from repro.utils.bits import (
+    bits_to_int,
+    bits_to_ints,
+    int_to_bits,
+    ints_to_bits,
+    pack_bits,
+    unpack_bits,
+    words_for,
+)
+
+__all__ = [
+    "bits_to_int",
+    "bits_to_ints",
+    "int_to_bits",
+    "ints_to_bits",
+    "pack_bits",
+    "unpack_bits",
+    "words_for",
+]

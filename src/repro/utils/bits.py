@@ -1,0 +1,127 @@
+"""Bit-vector packing helpers for the bit-parallel simulator.
+
+The simulator carries *batches* of independent simulation runs.  Every net in
+the circuit holds one logical bit per run, and a batch of ``B`` runs is stored
+as ``ceil(B / 64)`` little-endian ``uint64`` words: bit ``j`` of word ``w``
+holds the net value for run ``64 * w + j``.
+
+Two layouts appear throughout the code base:
+
+- **bit matrix** — ``numpy`` array of shape ``(batch, width)`` and dtype
+  ``uint8`` with values in ``{0, 1}``; column ``i`` is bit ``i`` (LSB-first)
+  of a ``width``-bit port across the batch;
+- **packed rows** — ``numpy`` array of shape ``(width, n_words)`` and dtype
+  ``uint64``; row ``i`` is the packed batch vector for bit ``i``.
+
+These helpers convert between Python integers, bit matrices and packed rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "bits_to_ints",
+    "int_to_bits",
+    "ints_to_bits",
+    "pack_bits",
+    "unpack_bits",
+    "words_for",
+]
+
+
+def words_for(batch: int) -> int:
+    """Number of ``uint64`` words needed to hold ``batch`` one-bit lanes."""
+    if batch <= 0:
+        raise ValueError(f"batch size must be positive, got {batch}")
+    return (batch + 63) // 64
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """LSB-first list of the low ``width`` bits of ``value``.
+
+    >>> int_to_bits(0b1011, 4)
+    [1, 1, 0, 1]
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits) -> int:
+    """Inverse of :func:`int_to_bits` — LSB-first bits to an integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= int(bit) << i
+    return value
+
+
+def ints_to_bits(values, width: int) -> np.ndarray:
+    """Convert an iterable of integers to a ``(batch, width)`` bit matrix.
+
+    Values wider than ``width`` raise; the conversion is LSB-first so
+    ``out[r, i]`` is bit ``i`` of ``values[r]``.
+    """
+    values = list(values)
+    out = np.zeros((len(values), width), dtype=np.uint8)
+    for row, value in enumerate(values):
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        for i in range(width):
+            out[row, i] = (value >> i) & 1
+    return out
+
+
+def bits_to_ints(bits: np.ndarray) -> list[int]:
+    """Convert a ``(batch, width)`` bit matrix back to Python integers."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    batch, width = bits.shape
+    out = []
+    for row in range(batch):
+        value = 0
+        for i in range(width):
+            value |= int(bits[row, i]) << i
+        out.append(value)
+    return out
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(batch, width)`` bit matrix into ``(width, n_words)`` uint64.
+
+    Run ``r`` lands in bit ``r % 64`` of word ``r // 64`` of each row, i.e.
+    little-endian lane order.  Lanes beyond the batch are zero.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    batch, width = bits.shape
+    n_words = words_for(batch)
+    # packbits works on uint8 with 8 lanes per byte; pad the batch axis up to
+    # a whole number of 64-bit words, then reinterpret the bytes.
+    padded = np.zeros((width, n_words * 64), dtype=np.uint8)
+    padded[:, :batch] = bits.T
+    packed_bytes = np.packbits(padded, axis=1, bitorder="little")
+    return packed_bytes.view(np.uint64).reshape(width, n_words)
+
+
+def unpack_bits(words: np.ndarray, batch: int) -> np.ndarray:
+    """Unpack ``(width, n_words)`` uint64 rows into a ``(batch, width)`` matrix.
+
+    Inverse of :func:`pack_bits`; lanes at or beyond ``batch`` are dropped.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"expected 2-D packed rows, got shape {words.shape}")
+    width, n_words = words.shape
+    if batch > n_words * 64:
+        raise ValueError(f"batch {batch} exceeds capacity {n_words * 64}")
+    as_bytes = words.view(np.uint8).reshape(width, n_words * 8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :batch].T.copy()

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Heavy objects (cipher specs with synthesised S-boxes, protected designs)
+are session-scoped: they are immutable after construction, and rebuilding
+them per test would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers.netlist_gift import GiftSpec
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import (
+    LambdaVariant,
+    build_acisp20,
+    build_naive_duplication,
+    build_three_in_one,
+    build_triplication,
+)
+
+TEST_KEY80 = 0x1A2B3C4D5E6F708192A3
+TEST_KEY128 = 0x000102030405060708090A0B0C0D0E0F
+
+
+@pytest.fixture(scope="session")
+def present_spec() -> PresentSpec:
+    return PresentSpec()
+
+@pytest.fixture(scope="session")
+def gift_spec() -> GiftSpec:
+    return GiftSpec()
+
+
+@pytest.fixture(scope="session")
+def naive_design(present_spec):
+    return build_naive_duplication(present_spec)
+
+
+@pytest.fixture(scope="session")
+def triplication_design(present_spec):
+    return build_triplication(present_spec)
+
+
+@pytest.fixture(scope="session")
+def acisp_design(present_spec):
+    return build_acisp20(present_spec)
+
+
+@pytest.fixture(scope="session")
+def ours_prime(present_spec):
+    return build_three_in_one(present_spec, variant=LambdaVariant.PRIME)
+
+
+@pytest.fixture(scope="session")
+def ours_per_round(present_spec):
+    return build_three_in_one(present_spec, variant=LambdaVariant.PER_ROUND)
+
+
+@pytest.fixture(scope="session")
+def ours_per_sbox(present_spec):
+    return build_three_in_one(present_spec, variant=LambdaVariant.PER_SBOX)

@@ -1,0 +1,76 @@
+"""AES-128 reference implementation against FIPS-197 vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.aes import AES128, AES_SBOX, gf_mul
+
+
+class TestGF:
+    def test_known_products(self):
+        assert gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 example
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_identity_and_zero(self):
+        for a in (0, 1, 0x53, 0xFF):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30)
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert AES_SBOX(0x00) == 0x63
+        assert AES_SBOX(0x01) == 0x7C
+        assert AES_SBOX(0x53) == 0xED
+        assert AES_SBOX(0xFF) == 0x16
+
+    def test_is_a_permutation_without_fixed_points(self):
+        assert sorted(AES_SBOX.table) == list(range(256))
+        assert all(AES_SBOX(x) != x for x in range(256))
+
+    def test_inverse(self):
+        for x in range(256):
+            assert AES_SBOX.inverse(AES_SBOX(x)) == x
+
+
+class TestBlockCipher:
+    def test_fips_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert AES128(key).encrypt_block(pt).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_fips_appendix_c(self):
+        key = bytes(range(16))
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        ct = AES128(key).encrypt_block(pt)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert AES128(key).decrypt_block(ct) == pt
+
+    def test_round_key_count(self):
+        assert len(AES128(bytes(16)).round_keys) == 11
+        assert all(len(rk) == 16 for rk in AES128(bytes(16)).round_keys)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(15))
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(bytes(8))
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).decrypt_block(bytes(17))
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, pt):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(pt)) == pt

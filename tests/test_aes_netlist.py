@@ -1,0 +1,172 @@
+"""AES-128 datapath and its countermeasure wrapping.
+
+AES exercises the non-SPN path: MixColumns is linear but not a bit
+permutation, and the countermeasure only applies because M(x̄) = M(x)‾
+(the MixColumns matrix rows sum to 1 in GF(2⁸)) — checked explicitly here.
+"""
+
+import pytest
+
+from repro.ciphers.aes import AES128, gf_mul
+from repro.ciphers.netlist_aes import (
+    AesReference,
+    AesSpec,
+    block_to_int,
+    build_aes_circuit,
+    int_to_block,
+)
+from repro.countermeasures import (
+    LambdaVariant,
+    build_naive_duplication,
+    build_three_in_one,
+)
+from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
+from repro.faults.models import last_round, sbox_input_net
+from repro.netlist.simulator import Simulator
+from repro.rng import make_rng, random_ints
+
+KEY = 0x000102030405060708090A0B0C0D0E0F
+
+
+@pytest.fixture(scope="module")
+def aes_spec():
+    return AesSpec()
+
+
+@pytest.fixture(scope="module")
+def bare_circuit():
+    circ, _core = build_aes_circuit()
+    return circ
+
+
+def ints_from_bits(bits):
+    return [int(sum(int(b) << i for i, b in enumerate(row))) for row in bits]
+
+
+class TestBlockLayout:
+    def test_block_int_roundtrip(self):
+        block = bytes(range(16))
+        assert int_to_block(block_to_int(block)) == block
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            block_to_int(bytes(15))
+        with pytest.raises(ValueError):
+            int_to_block(1 << 128)
+
+    def test_reference_adapter_matches_aes128(self):
+        ref = AesReference(KEY)
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        direct = AES128(int_to_block(KEY)).encrypt_block(pt)
+        assert ref.encrypt(block_to_int(pt)) == block_to_int(direct)
+        assert ref.decrypt(ref.encrypt(0x1234)) == 0x1234
+
+
+class TestMixColumnsTransparency:
+    """The theory behind AES support: M(1…1) = 1…1."""
+
+    def test_all_ones_is_a_fixed_point(self):
+        state = [0xFF] * 16
+        assert AES128._mix_columns(state) == state
+
+    def test_inversion_transparency_on_random_states(self):
+        rng = make_rng(4)
+        for _ in range(20):
+            state = [int(b) for b in rng.integers(0, 256, size=16)]
+            mixed = AES128._mix_columns(state)
+            inverted_in = [b ^ 0xFF for b in state]
+            assert AES128._mix_columns(inverted_in) == [b ^ 0xFF for b in mixed]
+
+    def test_row_coefficients_sum_to_one(self):
+        assert gf_mul(0xFF, 2) ^ gf_mul(0xFF, 3) ^ 0xFF ^ 0xFF == 0xFF
+
+
+class TestBareNetlist:
+    def test_fips_vector(self, bare_circuit):
+        key = block_to_int(bytes(range(16)))
+        pt = block_to_int(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        sim = Simulator(bare_circuit, batch=1)
+        sim.set_input_ints("plaintext", [pt])
+        sim.set_input_ints("key", [key])
+        sim.run(10)
+        sim.eval_comb()
+        want = block_to_int(bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"))
+        assert sim.get_output_ints("ciphertext") == [want]
+
+    def test_random_cases(self, bare_circuit):
+        rng = make_rng(5)
+        pts = random_ints(rng, 20, 128)
+        keys = random_ints(rng, 20, 128)
+        sim = Simulator(bare_circuit, batch=20)
+        sim.set_input_ints("plaintext", pts)
+        sim.set_input_ints("key", keys)
+        sim.run(10)
+        sim.eval_comb()
+        got = sim.get_output_ints("ciphertext")
+        assert got == [AesReference(k).encrypt(p) for k, p in zip(keys, pts)]
+
+    def test_structure(self, bare_circuit):
+        stats = bare_circuit.stats()
+        # 128 state + 128 key + 8 rcon + 4 counter + 1 first
+        assert stats.num_dffs == 269
+
+
+class TestProtectedAes:
+    @pytest.mark.parametrize(
+        "variant", [LambdaVariant.PRIME, LambdaVariant.PER_ROUND]
+    )
+    def test_three_in_one_equivalence(self, aes_spec, variant):
+        design = build_three_in_one(aes_spec, variant=variant)
+        ref = AesReference(KEY)
+        rng = make_rng(3)
+        pts = random_ints(rng, 12, 128)
+        sim = design.simulator(12)
+        res = design.run(sim, pts, KEY, rng=rng)
+        assert ints_from_bits(res["ciphertext"]) == [ref.encrypt(p) for p in pts]
+        assert not res["fault"].any()
+
+    def test_naive_duplication_equivalence(self, aes_spec):
+        design = build_naive_duplication(aes_spec)
+        ref = AesReference(KEY)
+        rng = make_rng(7)
+        pts = random_ints(rng, 8, 128)
+        sim = design.simulator(8)
+        res = design.run(sim, pts, KEY, rng=rng)
+        assert ints_from_bits(res["ciphertext"]) == [ref.encrypt(p) for p in pts]
+
+    def test_per_sbox_variant_rejected(self, aes_spec):
+        with pytest.raises(ValueError, match="shared λ"):
+            build_three_in_one(aes_spec, variant=LambdaVariant.PER_SBOX)
+
+    def test_single_fault_never_escapes(self, aes_spec):
+        design = build_three_in_one(aes_spec)
+        core = design.cores[0]
+        for sbox, bit, cycle in ((5, 3, 9), (0, 7, 0), (12, 0, 4)):
+            fault = FaultSpec.at(
+                sbox_input_net(core, sbox, bit), FaultType.STUCK_AT_0, cycle
+            )
+            res = run_campaign(design, [fault], n_runs=96, key=KEY, seed=sbox)
+            assert res.count(Outcome.EFFECTIVE) == 0
+
+    def test_identical_fault_always_detected(self, aes_spec):
+        design = build_three_in_one(aes_spec)
+        specs = [
+            FaultSpec.at(
+                sbox_input_net(core, 5, 1), FaultType.STUCK_AT_0, last_round(core)
+            )
+            for core in design.cores
+        ]
+        res = run_campaign(design, specs, n_runs=256, key=KEY, seed=2)
+        assert res.count(Outcome.DETECTED) == 256
+
+    def test_identical_fault_bypasses_naive_aes(self, aes_spec):
+        design = build_naive_duplication(aes_spec)
+        specs = [
+            FaultSpec.at(
+                sbox_input_net(core, 5, 1), FaultType.STUCK_AT_0, last_round(core)
+            )
+            for core in design.cores
+        ]
+        res = run_campaign(design, specs, n_runs=256, key=KEY, seed=2)
+        assert res.count(Outcome.EFFECTIVE) > 80
+        assert res.count(Outcome.DETECTED) == 0

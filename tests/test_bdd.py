@@ -1,0 +1,104 @@
+"""ROBDD package: reduction invariants, algebra, counting."""
+
+import pytest
+
+from repro.synth.bdd import ONE, ZERO, BDD
+from repro.synth.truthtable import TruthTable
+
+
+class TestReduction:
+    def test_mk_collapses_equal_children(self):
+        bdd = BDD(2)
+        assert bdd.mk(0, ZERO, ZERO) == ZERO
+        assert bdd.mk(1, ONE, ONE) == ONE
+
+    def test_mk_hash_conses(self):
+        bdd = BDD(2)
+        u1 = bdd.mk(0, ZERO, ONE)
+        u2 = bdd.mk(0, ZERO, ONE)
+        assert u1 == u2
+
+    def test_var_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(2).mk(2, ZERO, ONE)
+
+    def test_terminal_node_lookup_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(2).node(ONE)
+
+
+class TestAlgebra:
+    def test_ite_base_cases(self):
+        bdd = BDD(2)
+        x = bdd.var(0)
+        assert bdd.ite(ONE, x, ZERO) == x
+        assert bdd.ite(ZERO, x, ONE) == ONE
+        assert bdd.ite(x, ONE, ZERO) == x
+
+    def test_boolean_ops_by_exhaustion(self):
+        bdd = BDD(3)
+        x0, x1, x2 = bdd.var(0), bdd.var(1), bdd.var(2)
+        f = bdd.apply_or(bdd.apply_and(x0, x1), bdd.apply_xor(x1, x2))
+        for pattern in range(8):
+            a = [(pattern >> i) & 1 for i in range(3)]
+            expect = (a[0] & a[1]) | (a[1] ^ a[2])
+            assert bdd.evaluate(f, a) == expect
+
+    def test_not_is_involution(self):
+        bdd = BDD(2)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.apply_not(bdd.apply_not(f)) == f
+
+    def test_equivalence_checking_by_root_identity(self):
+        bdd = BDD(2)
+        x0, x1 = bdd.var(0), bdd.var(1)
+        demorgan_lhs = bdd.apply_not(bdd.apply_and(x0, x1))
+        demorgan_rhs = bdd.apply_or(bdd.apply_not(x0), bdd.apply_not(x1))
+        assert demorgan_lhs == demorgan_rhs
+
+
+class TestCounting:
+    def test_count_sat(self):
+        bdd = BDD(3)
+        x0, x1 = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(x0, x1)  # 2 of 8 assignments
+        assert bdd.count_sat(f) == 2
+        assert bdd.count_sat(ONE) == 8
+        assert bdd.count_sat(ZERO) == 0
+
+    def test_count_sat_skipped_levels(self):
+        bdd = BDD(4)
+        f = bdd.var(3)  # only the deepest var constrained
+        assert bdd.count_sat(f) == 8
+
+    def test_reachable(self):
+        bdd = BDD(2)
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        nodes = bdd.reachable([f])
+        assert ZERO in nodes and ONE in nodes and f in nodes
+
+
+class TestFromTruthTable:
+    def test_forest_shares_nodes(self):
+        tt = TruthTable(3, 2, [0, 1, 2, 3, 3, 2, 1, 0])
+        order = [2, 1, 0]  # the default: highest original input at the root
+        bdd, roots = BDD.from_truthtable(tt, var_order=order)
+        assert len(roots) == 2
+        for j, root in enumerate(roots):
+            for x in range(8):
+                # BDD levels are positions in var_order, so translate the
+                # original-variable assignment into level order.
+                by_level = [(x >> order[level]) & 1 for level in range(3)]
+                assert bdd.evaluate(root, by_level) == (tt(x) >> j) & 1
+
+    def test_bad_var_order_rejected(self):
+        tt = TruthTable(2, 1, [0, 1, 1, 0])
+        with pytest.raises(ValueError):
+            BDD.from_truthtable(tt, var_order=[0, 0])
+
+    def test_xor_bdd_is_linear_size(self):
+        n = 8
+        tt = TruthTable.from_function(n, 1, lambda x: bin(x).count("1") & 1)
+        bdd, roots = BDD.from_truthtable(tt)
+        # parity has exactly 2 nodes per level plus terminals
+        assert len(bdd.reachable(roots)) <= 2 * n + 2

@@ -1,0 +1,218 @@
+"""CircuitBuilder word-level helpers, checked against integer arithmetic."""
+
+import pytest
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.simulator import Simulator
+
+
+def run_comb(builder, inputs, output="y"):
+    """Evaluate a combinational builder circuit on a dict of int inputs."""
+    batch = max(len(v) for v in inputs.values())
+    sim = Simulator(builder.circuit, batch=batch)
+    for name, values in inputs.items():
+        sim.set_input_ints(name, values)
+    sim.eval_comb()
+    return sim.get_output_ints(output)
+
+
+class TestWordOps:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            ("xor_word", lambda a, b: a ^ b),
+            ("and_word", lambda a, b: a & b),
+            ("or_word", lambda a, b: a | b),
+            ("xnor_word", lambda a, b: (a ^ b) ^ 0xFF),
+        ],
+    )
+    def test_binary_word_ops(self, op, fn):
+        b = CircuitBuilder()
+        x = b.input("x", 8)
+        y = b.input("y", 8)
+        b.output("y_out", getattr(b, op)(x, y))
+        xs = list(range(0, 256, 17))
+        ys = list(range(0, 256, 13))[: len(xs)]
+        got = run_comb(b, {"x": xs, "y": ys}, output="y_out")
+        assert got == [fn(a, c) for a, c in zip(xs, ys)]
+
+    def test_not_word(self):
+        b = CircuitBuilder()
+        x = b.input("x", 6)
+        b.output("y", b.not_word(x))
+        assert run_comb(b, {"x": [0, 0x3F, 0x15]}) == [0x3F, 0, 0x2A]
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        y = b.input("y", 5)
+        with pytest.raises(ValueError):
+            b.xor_word(x, y)
+
+    def test_xor_bit_into_word(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        s = b.input("s", 1)
+        b.output("y", b.xor_bit_into_word(x, s[0]))
+        assert run_comb(b, {"x": [0b1010, 0b1010], "s": [0, 1]}) == [0b1010, 0b0101]
+
+    def test_mux_word(self):
+        b = CircuitBuilder()
+        s = b.input("s", 1)
+        d0 = b.input("d0", 4)
+        d1 = b.input("d1", 4)
+        b.output("y", b.mux_word(s[0], d0, d1))
+        got = run_comb(b, {"s": [0, 1], "d0": [3, 3], "d1": [12, 12]})
+        assert got == [3, 12]
+
+    def test_const_word(self):
+        b = CircuitBuilder()
+        b.input("x", 1)  # unused; ports needed for sim
+        b.output("y", b.const_word(0xA5, 8))
+        assert run_comb(b, {"x": [0, 0]}) == [0xA5, 0xA5]
+
+
+class TestReducersArithmetic:
+    def test_or_and_xor_reduce(self):
+        b = CircuitBuilder()
+        x = b.input("x", 7)
+        b.output("y", [b.or_reduce(x), b.and_reduce(x), b.xor_reduce(x)])
+        vals = [0, 0x7F, 0x2A, 1]
+        got = run_comb(b, {"x": vals})
+        for v, g in zip(vals, got):
+            expect = (1 if v else 0) | ((v == 0x7F) << 1) | ((bin(v).count("1") & 1) << 2)
+            assert g == expect
+
+    def test_reduce_empty_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.or_reduce([])
+
+    def test_equals_and_nor_reduce(self):
+        b = CircuitBuilder()
+        x = b.input("x", 5)
+        y = b.input("y", 5)
+        b.output("y_out", [b.equals(x, y)])
+        got = run_comb(b, {"x": [7, 7, 0], "y": [7, 9, 0]}, output="y_out")
+        assert got == [1, 0, 1]
+
+    def test_incrementer_wraps(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        b.output("y", b.incrementer(x))
+        vals = list(range(16))
+        assert run_comb(b, {"x": vals}) == [(v + 1) % 16 for v in vals]
+
+    def test_majority3(self):
+        b = CircuitBuilder()
+        x = b.input("x", 3)
+        b.output("y", [b.majority3(x[0], x[1], x[2])])
+        vals = list(range(8))
+        got = run_comb(b, {"x": vals})
+        assert got == [1 if bin(v).count("1") >= 2 else 0 for v in vals]
+
+    def test_majority3_word_corrects_single_error(self):
+        b = CircuitBuilder()
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        d = b.input("d", 4)
+        b.output("y", b.majority3_word(a, c, d))
+        got = run_comb(b, {"a": [9, 9], "c": [9, 1], "d": [1, 9]})
+        assert got == [9, 9]
+
+
+class TestRegister:
+    def test_register_counts(self):
+        b = CircuitBuilder()
+        q, connect = b.register(3, init=5)
+        connect(b.incrementer(q))
+        b.output("q", q)
+        sim = Simulator(b.circuit, batch=1)
+        seen = []
+        for _ in range(4):
+            seen.append(sim.get_output_ints("q")[0])
+            sim.step()
+        assert seen == [5, 6, 7, 0]
+
+    def test_register_double_connect_rejected(self):
+        b = CircuitBuilder()
+        q, connect = b.register(2)
+        connect([b.circuit.const(0)] * 2)
+        with pytest.raises(RuntimeError):
+            connect([b.circuit.const(0)] * 2)
+
+    def test_register_wrong_width_rejected(self):
+        b = CircuitBuilder()
+        _q, connect = b.register(2)
+        with pytest.raises(ValueError):
+            connect([b.circuit.const(0)])
+
+
+class TestAppendCircuit:
+    def make_adder_bit(self):
+        sub = CircuitBuilder("half")
+        x = sub.input("x", 2)
+        sub.output("s", [sub.xor(x[0], x[1])])
+        sub.output("c", [sub.and_(x[0], x[1])])
+        return sub.circuit
+
+    def test_flattening_binds_ports(self):
+        sub = self.make_adder_bit()
+        top = CircuitBuilder("top")
+        a = top.input("a", 2)
+        ports = top.append_circuit(sub, {"x": a}, tag_prefix="u0/")
+        top.output("s", ports["s"])
+        top.output("c", ports["c"])
+        got_s = run_comb(top, {"a": [0, 1, 2, 3]}, output="s")
+        got_c = run_comb(top, {"a": [0, 1, 2, 3]}, output="c")
+        assert got_s == [0, 1, 1, 0]
+        assert got_c == [0, 0, 0, 1]
+
+    def test_tags_are_prefixed(self):
+        sub = self.make_adder_bit()
+        top = CircuitBuilder("top")
+        a = top.input("a", 2)
+        top.append_circuit(sub, {"x": a}, tag_prefix="u7/")
+        assert len(top.circuit.find_gates("u7/")) == 2
+
+    def test_missing_binding_rejected(self):
+        sub = self.make_adder_bit()
+        top = CircuitBuilder("top")
+        top.input("a", 2)
+        with pytest.raises(ValueError):
+            top.append_circuit(sub, {})
+
+    def test_wrong_width_binding_rejected(self):
+        sub = self.make_adder_bit()
+        top = CircuitBuilder("top")
+        a = top.input("a", 3)
+        with pytest.raises(ValueError):
+            top.append_circuit(sub, {"x": a})
+
+    def test_dff_feedback_inlines(self):
+        # sub-circuit: 2-bit counter (DFF written before its D-net exists)
+        sub = CircuitBuilder("cnt")
+        sub.input("unused", 1)
+        q, connect = sub.register(2)
+        connect(sub.incrementer(q))
+        sub.output("q", q)
+
+        top = CircuitBuilder("top")
+        u = top.input("unused", 1)
+        ports = top.append_circuit(sub.circuit, {"unused": u})
+        top.output("q", ports["q"])
+        sim = Simulator(top.circuit, batch=1)
+        sim.run(3)
+        assert sim.get_output_ints("q")[0] == 3
+
+    def test_consts_are_shared(self):
+        sub = CircuitBuilder("c")
+        sub.input("x", 1)
+        sub.output("y", [sub.circuit.const(1)])
+        top = CircuitBuilder("top")
+        x = top.input("x", 1)
+        top.circuit.const(1)
+        top.append_circuit(sub.circuit, {"x": x})
+        top.append_circuit(sub.circuit, {"x": x})
+        assert sum(g.gtype is GateType.CONST1 for g in top.circuit.gates) == 1

@@ -1,0 +1,50 @@
+"""Campaign save/load round-trips, and re-running attacks offline."""
+
+import numpy as np
+
+from repro.attacks import sifa_attack
+from repro.faults import CampaignResult, FaultSpec, FaultType, run_campaign
+from repro.faults.models import sbox_input_net
+from tests.conftest import TEST_KEY80
+
+
+class TestPersistence:
+    def make_campaign(self, naive_design, present_spec, n=3000):
+        net = sbox_input_net(naive_design.cores[0], 7, 1)
+        fault = FaultSpec.at(net, FaultType.STUCK_AT_0, present_spec.rounds - 2)
+        return run_campaign(
+            naive_design, [fault], n_runs=n, key=TEST_KEY80, seed=21
+        )
+
+    def test_roundtrip_preserves_arrays(self, naive_design, present_spec, tmp_path):
+        result = self.make_campaign(naive_design, present_spec, n=500)
+        path = tmp_path / "campaign.npz"
+        result.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.scheme == result.scheme
+        assert loaded.key == result.key
+        assert (loaded.released_bits == result.released_bits).all()
+        assert (loaded.outcomes == result.outcomes).all()
+        assert loaded.counts() == result.counts()
+        assert loaded.extra["loaded_specs"]
+
+    def test_offline_attack_matches_online(
+        self, naive_design, present_spec, tmp_path
+    ):
+        result = self.make_campaign(naive_design, present_spec)
+        path = tmp_path / "campaign.npz"
+        result.save(path)
+        loaded = CampaignResult.load(path)
+        online = sifa_attack(result, present_spec, 7, 1)
+        offline = sifa_attack(loaded, present_spec, 7, 1)
+        assert online.recovered_bits == offline.recovered_bits
+        assert [r.best_guess for r in online.attacked] == [
+            r.best_guess for r in offline.attacked
+        ]
+
+    def test_large_key_survives_stringification(self, naive_design, present_spec, tmp_path):
+        result = self.make_campaign(naive_design, present_spec, n=64)
+        assert result.key.bit_length() > 64  # 80-bit keys exceed int64
+        path = tmp_path / "c.npz"
+        result.save(path)
+        assert CampaignResult.load(path).key == result.key

@@ -1,0 +1,140 @@
+"""Circuit IR invariants: drivers, ports, validation, stats, topo order."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+
+def xor_pair() -> Circuit:
+    c = Circuit("t")
+    a = c.add_input("a", 2)
+    y = c.add_gate(GateType.XOR, (a[0], a[1]))
+    c.set_output("y", [y])
+    return c
+
+
+class TestNets:
+    def test_ids_are_dense(self):
+        c = Circuit()
+        assert [c.new_net() for _ in range(3)] == [0, 1, 2]
+        assert c.num_nets == 3
+
+    def test_single_driver_enforced(self):
+        c = Circuit()
+        a = c.add_input("a", 1)[0]
+        with pytest.raises(ValueError):
+            c.add_gate(GateType.NOT, (a,), out=a)
+
+    def test_gate_input_must_exist(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_gate(GateType.NOT, (7,))
+
+    def test_const_memoised(self):
+        c = Circuit()
+        assert c.const(0) == c.const(0)
+        assert c.const(1) == c.const(1)
+        assert c.const(0) != c.const(1)
+        assert sum(g.gtype is GateType.CONST0 for g in c.gates) == 1
+
+    def test_const_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            Circuit().const(2)
+
+    def test_driver_of(self):
+        c = xor_pair()
+        y = c.outputs["y"][0]
+        assert c.driver_of(y).gtype is GateType.XOR
+        assert c.driver_of(999) is None
+
+
+class TestPorts:
+    def test_input_allocates_nets_in_order(self):
+        c = Circuit()
+        nets = c.add_input("a", 3)
+        assert len(nets) == 3
+        assert c.inputs["a"] == nets
+
+    def test_duplicate_port_names_rejected(self):
+        c = Circuit()
+        c.add_input("a", 1)
+        with pytest.raises(ValueError):
+            c.add_input("a", 2)
+        with pytest.raises(ValueError):
+            c.set_output("a", [c.inputs["a"][0]])
+
+    def test_output_requires_driven_nets(self):
+        c = Circuit()
+        c.new_net()
+        with pytest.raises(ValueError):
+            c.set_output("y", [0])
+
+    def test_output_rejects_empty(self):
+        c = xor_pair()
+        with pytest.raises(ValueError):
+            c.set_output("z", [])
+
+    def test_zero_width_input_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().add_input("a", 0)
+
+
+class TestValidationAndStats:
+    def test_valid_circuit_passes(self):
+        xor_pair().validate()
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit()
+        n1, n2 = c.new_net(), c.new_net()
+        c.add_gate(GateType.NOT, (n2,), out=n1)
+        c.add_gate(GateType.NOT, (n1,), out=n2)
+        with pytest.raises(ValueError, match="cycle"):
+            c.validate()
+
+    def test_cycle_through_dff_is_fine(self):
+        c = Circuit()
+        q = c.new_net()
+        inv = c.add_gate(GateType.NOT, (q,))
+        c.add_gate(GateType.DFF, (inv,), out=q)
+        c.set_output("q", [q])
+        c.validate()
+
+    def test_stats(self):
+        c = xor_pair()
+        s = c.stats()
+        assert s.num_gates == 3  # 2 inputs + 1 xor
+        assert s.num_inputs == 2
+        assert s.num_outputs == 1
+        assert s.num_dffs == 0
+        assert s.depth == 1
+        assert s.gate_counts["xor"] == 1
+        assert "xor=1" in str(s)
+
+    def test_depth_counts_longest_path(self):
+        c = Circuit()
+        a = c.add_input("a", 1)[0]
+        x = a
+        for _ in range(5):
+            x = c.add_gate(GateType.NOT, (x,))
+        c.set_output("y", [x])
+        assert c.depth() == 5
+
+    def test_find_gates_by_tag_prefix(self):
+        c = Circuit()
+        a = c.add_input("a", 1)[0]
+        c.add_gate(GateType.NOT, (a,), tag="core/sbox1/x")
+        c.add_gate(GateType.NOT, (a,), tag="core/sbox12/x")
+        assert len(c.find_gates("core/sbox1/")) == 1
+        assert len(c.find_gates("core/")) == 2
+
+    def test_topo_order_cached_and_invalidated(self):
+        c = xor_pair()
+        first = c.topo_order()
+        assert c.topo_order() is first
+        a = c.inputs["a"]
+        c.add_gate(GateType.AND, (a[0], a[1]))
+        assert c.topo_order() is not first
+
+    def test_repr_mentions_size(self):
+        assert "3 gates" in repr(xor_pair())

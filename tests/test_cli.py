@@ -1,0 +1,62 @@
+"""CLI plumbing (fast subcommands only; campaigns run in the benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("table2", "table3", "fig4", "fig5", "matrix", "sweep", "sca", "encrypt"):
+            assert cmd in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_flag_parsed(self):
+        args = build_parser().parse_args(["fig4", "--runs", "123", "--seed", "9"])
+        assert args.runs == 123 and args.seed == 9
+
+
+class TestFastCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "three_in_one" in out
+
+    def test_table3_without_aes(self, capsys):
+        assert main(["table3", "--no-aes"]) == 0
+        out = capsys.readouterr().out
+        assert "present" in out and "aes" not in out
+
+    def test_encrypt_roundtrip(self, capsys):
+        code = main(["encrypt", "--key", "0x1", "--pt", "0x2", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault flag: 0" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--runs", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "(a) naive duplication" in out and "SEI" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--runs", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "faulty released=0" in out
+
+    def test_sweep_small(self, capsys):
+        from repro.evaluation.matrix import run_round_sweep
+
+        rows = run_round_sweep(400, rounds=(1, 31))
+        assert len(rows) == 2
+        for row in rows:
+            assert row[2] == 0 and row[4] == 0  # no bypasses
+
+    def test_sca_small(self, capsys):
+        assert main(["sca", "--traces", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "whole chip, HD: max|t| = 0.0" in out

@@ -1,0 +1,33 @@
+"""The evaluation matrix/sweep helpers (small-scale versions of the
+asserted benchmarks)."""
+
+from repro.evaluation.matrix import FTA_PLAINTEXTS, run_attack_matrix, run_round_sweep
+
+
+class TestRoundSweep:
+    def test_row_structure(self):
+        rows = run_round_sweep(300, rounds=(1, 31))
+        assert len(rows) == 2
+        for row in rows:
+            round_, naive_rate, naive_eff, ours_rate, ours_eff = row
+            assert round_ in (1, 31)
+            assert 0.0 <= naive_rate <= 1.0 and 0.0 <= ours_rate <= 1.0
+            assert naive_eff == 0 and ours_eff == 0
+
+    def test_custom_target(self):
+        rows = run_round_sweep(200, rounds=(31,), target_sbox=0, target_bit=3)
+        assert len(rows) == 1
+
+
+class TestAttackMatrixSmall:
+    def test_matrix_shape_and_naive_breaks(self):
+        """A small-N matrix: the naive row must already break under DFA
+        (deterministic given the seed); the ours row must stay clean."""
+        matrix = run_attack_matrix(3000)
+        assert set(matrix) == {"naive_duplication", "acisp20", "three_in_one"}
+        for cells in matrix.values():
+            assert set(cells) == {"dfa_identical", "sifa", "fta"}
+        assert matrix["naive_duplication"]["dfa_identical"].success
+        assert not matrix["three_in_one"]["dfa_identical"].success
+        assert not matrix["three_in_one"]["fta"].success
+        assert len(FTA_PLAINTEXTS) >= 4

@@ -1,0 +1,136 @@
+"""GateCache folding rules — each must preserve semantics and actually fold."""
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulator import Simulator
+from repro.synth.gatecache import GateCache
+
+
+def fresh():
+    b = CircuitBuilder()
+    x = b.input("x", 3)
+    return b, GateCache(b), x
+
+
+def check(b, out_net, fn):
+    b.output("y", [out_net])
+    sim = Simulator(b.circuit, batch=8)
+    sim.set_input_ints("x", list(range(8)))
+    sim.eval_comb()
+    got = sim.get_output_ints("y")
+    for v in range(8):
+        bits = [(v >> i) & 1 for i in range(3)]
+        assert got[v] == fn(*bits), f"pattern {v}"
+
+
+class TestConstantFolding:
+    def test_and_with_constants(self):
+        b, g, x = fresh()
+        assert g.g_and(g.zero, x[0]) == g.zero
+        assert g.g_and(g.one, x[0]) == x[0]
+
+    def test_or_with_constants(self):
+        b, g, x = fresh()
+        assert g.g_or(g.one, x[0]) == g.one
+        assert g.g_or(g.zero, x[0]) == x[0]
+
+    def test_xor_with_constants(self):
+        b, g, x = fresh()
+        assert g.g_xor(g.zero, x[0]) == x[0]
+        n = g.g_xor(g.one, x[0])
+        check(b, n, lambda a, c, d: a ^ 1)
+
+    def test_not_of_consts(self):
+        b, g, x = fresh()
+        assert g.g_not(g.zero) == g.one
+        assert g.g_not(g.one) == g.zero
+
+
+class TestIdentities:
+    def test_idempotence(self):
+        b, g, x = fresh()
+        assert g.g_and(x[0], x[0]) == x[0]
+        assert g.g_or(x[1], x[1]) == x[1]
+        assert g.g_xor(x[0], x[0]) == g.zero
+        assert g.g_xnor(x[0], x[0]) == g.one
+
+    def test_complement_annihilation(self):
+        b, g, x = fresh()
+        nx = g.g_not(x[0])
+        assert g.g_and(x[0], nx) == g.zero
+        assert g.g_or(x[0], nx) == g.one
+        assert g.g_xor(x[0], nx) == g.one
+        assert g.g_xnor(x[0], nx) == g.zero
+
+    def test_double_not_vanishes(self):
+        b, g, x = fresh()
+        assert g.g_not(g.g_not(x[0])) == x[0]
+
+    def test_structural_hashing_commutative(self):
+        b, g, x = fresh()
+        assert g.g_and(x[0], x[1]) == g.g_and(x[1], x[0])
+        assert g.g_xor(x[0], x[1]) == g.g_xor(x[1], x[0])
+        before = len(b.circuit.gates)
+        g.g_and(x[0], x[1])
+        assert len(b.circuit.gates) == before
+
+    def test_nand_nor_build_on_and_or(self):
+        b, g, x = fresh()
+        n1 = g.g_nand(x[0], x[1])
+        check(b, n1, lambda a, c, d: 1 - (a & c))
+
+    def test_xor_xnor_complement_noted(self):
+        b, g, x = fresh()
+        xo = g.g_xor(x[0], x[1])
+        xn = g.g_xnor(x[0], x[1])
+        assert g.complement_of(xo) == xn
+        assert g.g_not(xo) == xn
+
+
+class TestMuxReduction:
+    def test_constant_select(self):
+        b, g, x = fresh()
+        assert g.g_mux(g.zero, x[0], x[1]) == x[0]
+        assert g.g_mux(g.one, x[0], x[1]) == x[1]
+
+    def test_equal_branches(self):
+        b, g, x = fresh()
+        assert g.g_mux(x[2], x[0], x[0]) == x[0]
+
+    def test_const_branches_strength_reduce(self):
+        b, g, x = fresh()
+        # sel ? x1 : 0  == AND
+        n = g.g_mux(x[2], g.zero, x[1])
+        check(b, n, lambda a, c, d: d & c)
+
+    def test_const_one_branch(self):
+        b, g, x = fresh()
+        # sel ? 1 : x0 == OR(sel, x0)
+        n = g.g_mux(x[2], x[0], g.one)
+        check(b, n, lambda a, c, d: d | a)
+
+    def test_complement_branches_become_xnor(self):
+        b, g, x = fresh()
+        nx = g.g_not(x[0])
+        n = g.g_mux(x[2], nx, x[0])
+        check(b, n, lambda a, c, d: 1 - (d ^ a))
+
+    def test_select_equals_branch(self):
+        b, g, x = fresh()
+        n = g.g_mux(x[2], x[2], x[0])  # sel?x0:sel == sel&x0
+        check(b, n, lambda a, c, d: d & a)
+        n2 = g.g_mux(x[2], x[0], x[2])  # sel?sel:x0 == sel|x0
+        check_fn = lambda a, c, d: d | a
+        b.output("y2", [n2])
+        sim = Simulator(b.circuit, batch=8)
+        sim.set_input_ints("x", list(range(8)))
+        sim.eval_comb()
+        got = sim.get_output_ints("y2")
+        for v in range(8):
+            bits = [(v >> i) & 1 for i in range(3)]
+            assert got[v] == check_fn(*bits)
+
+    def test_general_mux_emitted_once(self):
+        b, g, x = fresh()
+        m1 = g.g_mux(x[2], x[0], x[1])
+        m2 = g.g_mux(x[2], x[0], x[1])
+        assert m1 == m2

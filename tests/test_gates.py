@@ -1,0 +1,90 @@
+"""Gate-type semantics and Gate record validation."""
+
+import pytest
+
+from repro.netlist.gates import COMBINATIONAL_TYPES, SOURCE_TYPES, Gate, GateType
+
+
+class TestEvalSemantics:
+    TRUTH = {
+        GateType.AND: [0, 0, 0, 1],
+        GateType.OR: [0, 1, 1, 1],
+        GateType.NAND: [1, 1, 1, 0],
+        GateType.NOR: [1, 0, 0, 0],
+        GateType.XOR: [0, 1, 1, 0],
+        GateType.XNOR: [1, 0, 0, 1],
+    }
+
+    @pytest.mark.parametrize("gtype", sorted(TRUTH, key=lambda g: g.value))
+    def test_two_input_truth_tables(self, gtype):
+        for pattern in range(4):
+            a, b = pattern & 1, (pattern >> 1) & 1
+            assert gtype.eval(a, b) == self.TRUTH[gtype][a + 2 * b]
+
+    def test_not_buf(self):
+        assert GateType.NOT.eval(0) == 1
+        assert GateType.NOT.eval(1) == 0
+        assert GateType.BUF.eval(0) == 0
+        assert GateType.BUF.eval(1) == 1
+
+    def test_mux_selects_d1_when_sel_high(self):
+        for d0 in (0, 1):
+            for d1 in (0, 1):
+                assert GateType.MUX.eval(0, d0, d1) == d0
+                assert GateType.MUX.eval(1, d0, d1) == d1
+
+    def test_constants(self):
+        assert GateType.CONST0.eval() == 0
+        assert GateType.CONST1.eval() == 1
+
+    def test_dff_passes_d(self):
+        assert GateType.DFF.eval(1) == 1
+
+    def test_eval_arity_checked(self):
+        with pytest.raises(ValueError):
+            GateType.AND.eval(1)
+        with pytest.raises(ValueError):
+            GateType.NOT.eval(1, 0)
+
+    def test_input_has_no_semantics(self):
+        with pytest.raises(ValueError):
+            GateType.INPUT.eval()
+
+
+class TestClassification:
+    def test_source_and_combinational_partition(self):
+        assert GateType.DFF not in COMBINATIONAL_TYPES
+        assert GateType.DFF not in SOURCE_TYPES
+        assert GateType.INPUT in SOURCE_TYPES
+        assert GateType.MUX in COMBINATIONAL_TYPES
+        assert not (COMBINATIONAL_TYPES & SOURCE_TYPES)
+
+    def test_arity_table(self):
+        assert GateType.INPUT.arity == 0
+        assert GateType.NOT.arity == 1
+        assert GateType.XOR.arity == 2
+        assert GateType.MUX.arity == 3
+        assert GateType.DFF.arity == 1
+
+
+class TestGateRecord:
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, out=2, ins=(0,))
+
+    def test_rejects_init_on_combinational(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, out=2, ins=(0, 1), init=1)
+
+    def test_rejects_bad_init_value(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.DFF, out=1, ins=(0,), init=2)
+
+    def test_dff_init_allowed(self):
+        gate = Gate(GateType.DFF, out=1, ins=(0,), init=1)
+        assert gate.init == 1
+
+    def test_tag_not_part_of_equality(self):
+        a = Gate(GateType.AND, out=2, ins=(0, 1), tag="x")
+        b = Gate(GateType.AND, out=2, ins=(0, 1), tag="y")
+        assert a == b

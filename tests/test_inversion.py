@@ -1,0 +1,109 @@
+"""The inverted-domain transform: property-tested defining identity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.countermeasures.inversion import INVERTED_CELL, invert_circuit
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import COMBINATIONAL_TYPES, GateType
+from repro.netlist.simulator import Simulator
+
+
+def random_comb_circuit(seed, n_inputs=4, n_gates=25):
+    rng = np.random.default_rng(seed)
+    c = Circuit("rand")
+    nets = list(c.add_input("x", n_inputs))
+    nets.append(c.const(0))
+    nets.append(c.const(1))
+    types = sorted(COMBINATIONAL_TYPES, key=lambda g: g.value)
+    for _ in range(n_gates):
+        gtype = types[rng.integers(len(types))]
+        ins = tuple(int(nets[rng.integers(len(nets))]) for _ in range(gtype.arity))
+        nets.append(c.add_gate(gtype, ins))
+    c.set_output("y", nets[-4:])
+    return c
+
+
+def eval_all(circ, n_inputs=4, invert_inputs=False, cycles=0):
+    batch = 1 << n_inputs
+    sim = Simulator(circ, batch=batch)
+    mask = batch - 1
+    vals = [v ^ mask if invert_inputs else v for v in range(batch)]
+    sim.set_input_ints("x", vals)
+    sim.run(cycles)
+    sim.eval_comb()
+    return sim.get_output_ints("y")
+
+
+class TestTableI:
+    def test_cell_mapping_is_an_involution(self):
+        for gtype, twin in INVERTED_CELL.items():
+            assert INVERTED_CELL[twin] is gtype
+
+    def test_paper_table_entries(self):
+        assert INVERTED_CELL[GateType.XOR] is GateType.XNOR
+        assert INVERTED_CELL[GateType.AND] is GateType.OR
+        assert INVERTED_CELL[GateType.CONST0] is GateType.CONST1
+
+
+class TestDefiningIdentity:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_inverted_circuit_computes_complement(self, seed):
+        circ = random_comb_circuit(seed)
+        twin = invert_circuit(circ)
+        plain = eval_all(circ)
+        inverted = eval_all(twin, invert_inputs=True)
+        width = len(circ.outputs["y"])
+        mask = (1 << width) - 1
+        # twin(x̄) == circ(x)‾, pattern by pattern
+        assert inverted == [v ^ mask for v in plain]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_double_inversion_restores_behaviour(self, seed):
+        circ = random_comb_circuit(seed)
+        twice = invert_circuit(invert_circuit(circ))
+        assert eval_all(circ) == eval_all(twice)
+
+    def test_sequential_circuit_with_init(self):
+        # a 1-bit toggle: in the inverted domain the init flips too
+        c = Circuit("tog")
+        c.add_input("x", 1)
+        q = c.new_net()
+        inv = c.add_gate(GateType.NOT, (q,))
+        c.add_gate(GateType.DFF, (inv,), out=q, init=0)
+        c.set_output("y", [q])
+        twin = invert_circuit(c)
+        for cycles in range(4):
+            s1 = Simulator(c, batch=1)
+            s2 = Simulator(twin, batch=1)
+            s1.run(cycles)
+            s2.run(cycles)
+            s1.eval_comb()
+            s2.eval_comb()
+            a = s1.get_output_ints("y")[0]
+            b = s2.get_output_ints("y")[0]
+            assert b == a ^ 1
+
+    def test_mux_branch_swap(self):
+        c = Circuit("m")
+        x = c.add_input("x", 3)
+        y = c.add_gate(GateType.MUX, (x[2], x[0], x[1]))
+        c.set_output("y", [y])
+        twin = invert_circuit(c)
+        for pattern in range(8):
+            sim = Simulator(twin, batch=1)
+            sim.set_input_ints("x", [pattern ^ 7])
+            sim.eval_comb()
+            s, d0, d1 = (pattern >> 2) & 1, pattern & 1, (pattern >> 1) & 1
+            expect = (d1 if s else d0) ^ 1
+            assert sim.get_output_ints("y")[0] == expect
+
+    def test_name_and_ports_preserved(self):
+        circ = random_comb_circuit(3)
+        twin = invert_circuit(circ, name="custom")
+        assert twin.name == "custom"
+        assert twin.inputs.keys() == circ.inputs.keys()
+        assert twin.outputs.keys() == circ.outputs.keys()

@@ -1,0 +1,62 @@
+"""Merged (n+1)×m S-box constructions: all must realise the same function."""
+
+import pytest
+
+from repro.ciphers.aes import AES_SBOX
+from repro.ciphers.sbox import GIFT_SBOX, PRESENT_SBOX
+from repro.countermeasures.merged_sbox import MERGED_CONSTRUCTIONS, build_merged_sbox
+from repro.netlist.simulator import Simulator
+from repro.tech import area_of
+
+
+def eval_merged(circ, n):
+    sim = Simulator(circ, batch=1 << (n + 1))
+    sim.set_input_ints("x", list(range(1 << (n + 1))))
+    sim.eval_comb()
+    return sim.get_output_ints("y")
+
+
+class TestConstructions:
+    @pytest.mark.parametrize("construction", MERGED_CONSTRUCTIONS)
+    @pytest.mark.parametrize("sbox", [PRESENT_SBOX, GIFT_SBOX], ids=lambda s: s.name)
+    def test_both_domains_exact(self, construction, sbox):
+        circ = build_merged_sbox(sbox, construction=construction)
+        got = eval_merged(circ, sbox.n)
+        mask = (1 << sbox.n) - 1
+        for x in range(1 << sbox.n):
+            assert got[x] == sbox(x), f"λ=0 wrong at {x:x}"
+            assert got[(1 << sbox.n) + x] == sbox(x ^ mask) ^ mask, f"λ=1 wrong at {x:x}"
+
+    def test_constructions_agree(self):
+        results = {
+            c: eval_merged(build_merged_sbox(PRESENT_SBOX, construction=c), 4)
+            for c in MERGED_CONSTRUCTIONS
+        }
+        assert results["monolithic"] == results["separate"] == results["xor_wrap"]
+
+    def test_unknown_construction_rejected(self):
+        with pytest.raises(ValueError):
+            build_merged_sbox(PRESENT_SBOX, construction="quantum")
+
+    def test_xor_wrap_is_cheapest(self):
+        areas = {
+            c: area_of(build_merged_sbox(PRESENT_SBOX, construction=c)).total
+            for c in MERGED_CONSTRUCTIONS
+        }
+        assert areas["xor_wrap"] <= areas["monolithic"]
+        assert areas["xor_wrap"] <= areas["separate"]
+
+    def test_port_shape(self):
+        circ = build_merged_sbox(PRESENT_SBOX)
+        assert len(circ.inputs["x"]) == 5
+        assert len(circ.outputs["y"]) == 4
+
+    def test_aes_merged_monolithic(self):
+        circ = build_merged_sbox(AES_SBOX, construction="monolithic")
+        got = eval_merged(circ, 8)
+        assert got[0x53] == 0xED
+        assert got[0x100 | (0x53 ^ 0xFF)] == 0xED ^ 0xFF
+
+    def test_default_name(self):
+        circ = build_merged_sbox(PRESENT_SBOX, construction="separate")
+        assert circ.name == "present_merged_separate"

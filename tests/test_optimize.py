@@ -1,0 +1,151 @@
+"""Optimisation passes preserve behaviour and remove redundancy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import COMBINATIONAL_TYPES, GateType
+from repro.netlist.simulator import Simulator
+from repro.synth.optimize import dead_code, optimize, rebuild
+
+
+def behave(circuit, cycles=0, inputs=None):
+    """Fingerprint a circuit's behaviour over all 32 input patterns."""
+    batch = 32
+    sim = Simulator(circuit, batch=batch)
+    for name, nets in circuit.inputs.items():
+        sim.set_input_ints(name, [(v * 7 + hash(name)) % (1 << len(nets)) for v in range(batch)]
+                           if inputs is None else inputs[name])
+    sim.run(cycles)
+    sim.eval_comb()
+    return {name: sim.get_output_ints(name) for name in circuit.outputs}
+
+
+class TestRebuild:
+    def test_folds_constants(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        one = b.circuit.const(1)
+        y = b.and_(x[0], one)  # == x0
+        b.output("y", [b.xor(y, b.circuit.const(0))])
+        out = optimize(b.circuit)
+        assert behave(b.circuit) == behave(out)
+        # everything should have folded down to a wire
+        comb = [g for g in out.gates if g.gtype in COMBINATIONAL_TYPES]
+        assert len(comb) == 0
+
+    def test_dedupes_structural_twins(self):
+        b = CircuitBuilder()
+        x = b.input("x", 2)
+        y1 = b.xor(x[0], x[1])
+        y2 = b.xor(x[1], x[0])  # commutative twin
+        b.output("y", [b.and_(y1, y2)])  # a & a -> a after dedupe
+        out = optimize(b.circuit)
+        assert behave(b.circuit) == behave(out)
+        counts = out.stats().gate_counts
+        assert counts.get("xor", 0) == 1
+        assert counts.get("and", 0) == 0
+
+    def test_double_not_eliminated(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        b.output("y", [b.not_(b.not_(x[0]))])
+        out = optimize(b.circuit)
+        assert out.stats().gate_counts.get("not", 0) == 0
+        assert behave(b.circuit) == behave(out)
+
+    def test_mux_constant_data_strength_reduced(self):
+        b = CircuitBuilder()
+        x = b.input("x", 2)
+        b.output("y", [b.mux(x[0], b.circuit.const(0), x[1])])
+        out = optimize(b.circuit)
+        assert behave(b.circuit) == behave(out)
+        assert out.stats().gate_counts.get("mux", 0) == 0
+
+    def test_registers_and_init_survive(self):
+        b = CircuitBuilder()
+        q, connect = b.register(3, init=5)
+        connect(b.incrementer(q))
+        b.output("q", q)
+        out = rebuild(b.circuit)
+        assert len(out.dffs()) == 3
+        assert behave(b.circuit, cycles=4) == behave(out, cycles=4)
+
+    def test_ports_preserved_verbatim(self):
+        b = CircuitBuilder()
+        x = b.input("x", 3)
+        b.output("y", [b.and_(x[0], x[1]), x[2]])
+        out = optimize(b.circuit)
+        assert list(out.inputs) == ["x"]
+        assert len(out.inputs["x"]) == 3
+        assert len(out.outputs["y"]) == 2
+
+
+class TestDeadCode:
+    def test_unreachable_logic_removed(self):
+        b = CircuitBuilder()
+        x = b.input("x", 2)
+        live = b.xor(x[0], x[1])
+        for _ in range(10):
+            b.and_(x[0], x[1])  # dead
+        b.output("y", [live])
+        out = dead_code(b.circuit)
+        assert out.stats().gate_counts.get("and", 0) == 0
+        assert behave(b.circuit) == behave(out)
+
+    def test_dead_register_chain_removed(self):
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        q_dead, c_dead = b.register(4)
+        c_dead(b.incrementer(q_dead))
+        b.output("y", [b.buf(x[0])])
+        out = dead_code(b.circuit)
+        assert len(out.dffs()) == 0
+
+    def test_live_register_kept_through_feedback(self):
+        b = CircuitBuilder()
+        q, connect = b.register(4)
+        connect(b.incrementer(q))
+        b.output("q", q)
+        out = dead_code(b.circuit)
+        assert len(out.dffs()) == 4
+        assert behave(b.circuit, cycles=3) == behave(out, cycles=3)
+
+    def test_unused_inputs_stay_in_interface(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        b.output("y", [b.buf(x[0])])
+        out = dead_code(b.circuit)
+        assert len(out.inputs["x"]) == 4
+
+
+class TestOptimizeProperty:
+    @staticmethod
+    def random_circuit(seed):
+        rng = np.random.default_rng(seed)
+        c = Circuit("rand")
+        nets = list(c.add_input("x", 4))
+        nets.append(c.const(0))
+        nets.append(c.const(1))
+        types = sorted(COMBINATIONAL_TYPES, key=lambda g: g.value)
+        dff_count = 0
+        for _ in range(40):
+            gtype = types[rng.integers(len(types))]
+            ins = tuple(int(nets[rng.integers(len(nets))]) for _ in range(gtype.arity))
+            nets.append(c.add_gate(gtype, ins))
+            if dff_count < 4 and rng.random() < 0.15:
+                nets.append(c.add_gate(GateType.DFF, (nets[-1],), init=int(rng.integers(2))))
+                dff_count += 1
+        c.set_output("y", nets[-4:])
+        return c
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_optimize_preserves_behaviour(self, seed):
+        circ = self.random_circuit(seed)
+        out = optimize(circ)
+        assert len(out.gates) <= len(circ.gates)
+        for cycles in (0, 3):
+            assert behave(circ, cycles=cycles) == behave(out, cycles=cycles)

@@ -1,0 +1,165 @@
+"""§IV-B extensions: persistent fault analysis and infective recovery."""
+
+import pytest
+
+from repro.attacks.pfa import pfa_attack
+from repro.ciphers.present import Present80
+from repro.ciphers.sbox import PRESENT_SBOX
+from repro.countermeasures import RecoveryPolicy, build_three_in_one
+from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
+from repro.faults.models import last_round, sbox_input_net
+from repro.rng import make_rng, random_ints
+from repro.software import ProtectedSoftwarePresent, SoftwarePresent
+from tests.conftest import TEST_KEY80
+
+#: corrupted S-box ROM entry: S[0xA] (= 0xF originally) remapped to 0x3
+PFA_ENTRY = 0xA
+PFA_VALUE = 0x3
+MISSING = PRESENT_SBOX(PFA_ENTRY)
+
+
+class TestPfaAgainstSharedRomDuplication:
+    @pytest.fixture(scope="class")
+    def harvest(self):
+        """Ciphertexts released by a shared-ROM duplicated implementation."""
+        sw = SoftwarePresent(TEST_KEY80, table_fault=(PFA_ENTRY, PFA_VALUE))
+        rng = make_rng(3)
+        cts = []
+        for pt in random_ints(rng, 2000, 64):
+            released, detected = sw.encrypt_duplicated(pt)
+            assert not detected, "shared corrupted ROM must never be detected"
+            cts.append(released)
+        return cts
+
+    def test_outputs_are_faulty_but_released(self, harvest):
+        ref = Present80(TEST_KEY80)
+        # persistent fault corrupts essentially every encryption
+        sw = SoftwarePresent(TEST_KEY80, table_fault=(PFA_ENTRY, PFA_VALUE))
+        rng = make_rng(3)
+        wrong = sum(
+            1
+            for pt, ct in zip(random_ints(rng, 100, 64), harvest[:100])
+            if ct != ref.encrypt(pt)
+        )
+        assert wrong > 95
+
+    def test_full_last_round_key_recovered(self, present_spec, harvest):
+        result = pfa_attack(present_spec, harvest, MISSING, key=TEST_KEY80)
+        assert result.success
+        assert result.recovered_bits == 64
+
+    def test_insufficient_samples_leave_ambiguity(self, present_spec, harvest):
+        result = pfa_attack(present_spec, harvest[:8], MISSING, key=TEST_KEY80)
+        assert not result.success
+        # but the truth always survives the filter
+        for nib in result.nibbles:
+            assert nib.true_subkey in nib.survivors
+
+
+class TestPfaAgainstProtectedSoftware:
+    def test_corrupted_merged_table_always_detected_when_used(self):
+        sw = ProtectedSoftwarePresent(
+            TEST_KEY80, merged_table_fault=(PFA_ENTRY, PFA_VALUE)
+        )
+        ref = Present80(TEST_KEY80)
+        rng = make_rng(5)
+        released_faulty = 0
+        detected = 0
+        for i, pt in enumerate(random_ints(rng, 300, 64)):
+            out, flag = sw.encrypt_protected(pt, lam=i % 2)
+            if flag:
+                detected += 1
+            elif out != ref.encrypt(pt):
+                released_faulty += 1
+        assert released_faulty == 0
+        # the corrupted entry is hit in virtually every run
+        assert detected > 290
+
+    def test_pfa_harvest_starves(self):
+        sw = ProtectedSoftwarePresent(
+            TEST_KEY80, merged_table_fault=(PFA_ENTRY, PFA_VALUE)
+        )
+        ref = Present80(TEST_KEY80)
+        rng = make_rng(6)
+        cts = []
+        for i, pt in enumerate(random_ints(rng, 300, 64)):
+            out, flag = sw.encrypt_protected(pt, lam=i % 2)
+            if out is not None:
+                assert out == ref.encrypt(pt)
+                cts.append(out)
+        # nothing faulty releases; the handful of correct outputs carry no
+        # missing-value signal an attacker can use
+        assert len(cts) < 10
+
+
+class TestInfectivePolicy:
+    @pytest.fixture(scope="class")
+    def design(self, present_spec):
+        return build_three_in_one(present_spec, policy=RecoveryPolicy.INFECTIVE)
+
+    def test_fault_free_equivalence(self, design):
+        ref = Present80(TEST_KEY80)
+        rng = make_rng(8)
+        pts = random_ints(rng, 16, 64)
+        sim = design.simulator(16)
+        res = design.run(sim, pts, TEST_KEY80, rng=rng)
+        got = [
+            int(sum(int(b) << i for i, b in enumerate(row)))
+            for row in res["ciphertext"]
+        ]
+        assert got == [ref.encrypt(p) for p in pts]
+
+    def test_effective_faults_release_infected_words(self, design):
+        core = design.cores[0]
+        fault = FaultSpec.at(
+            sbox_input_net(core, 5, 1), FaultType.BIT_FLIP, last_round(core)
+        )
+        res = run_campaign(design, [fault], n_runs=512, key=TEST_KEY80, seed=11)
+        counts = res.counts()
+        # a bit flip always corrupts core a: everything infects
+        assert counts["infected"] == 512
+        assert counts["effective"] == 0 and counts["detected"] == 0
+
+    def test_infected_words_are_useless_for_dfa(self, design, present_spec):
+        """The infected outputs are C ⊕ random — the DFA solver must
+        eliminate every subkey guess."""
+        from repro.attacks import dfa_attack_last_round
+
+        core = design.cores[0]
+        fault = FaultSpec.at(
+            sbox_input_net(core, 5, 1), FaultType.STUCK_AT_0, last_round(core)
+        )
+        res = run_campaign(design, [fault], n_runs=2048, key=TEST_KEY80, seed=12)
+        infected = res.select(Outcome.INFECTED)[:48]
+        assert len(infected) >= 32
+        dfa = dfa_attack_last_round(
+            present_spec,
+            res.expected_bits[infected],
+            res.released_bits[infected],
+            5,
+            1,
+            FaultType.STUCK_AT_0,
+            key=TEST_KEY80,
+        )
+        assert dfa.survivors == []
+
+    def test_infected_word_differs_from_raw_faulty_output(self, design):
+        """The whole point of infection: what leaves the chip is not the
+        deterministic faulty ciphertext."""
+        core = design.cores[0]
+        fault = FaultSpec.at(
+            sbox_input_net(core, 5, 1), FaultType.BIT_FLIP, last_round(core)
+        )
+        pts = [0x1234567890ABCDEF] * 8
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector([fault], 8)
+        sim = design.simulator(8, faults=injector)
+        res = design.run(sim, pts, TEST_KEY80, rng=13)
+        words = {
+            int(sum(int(b) << i for i, b in enumerate(row)))
+            for row in res["ciphertext"]
+        }
+        # same plaintext, same fault — but the released words differ run to
+        # run because the infection mask is fresh randomness
+        assert len(words) > 4

@@ -1,0 +1,88 @@
+"""PRESENT reference implementation against the CHES 2007 test vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.present import PLAYER, PLAYER_INV, Present80, Present128
+
+VECTORS_80 = [
+    (0x00000000000000000000, 0x0000000000000000, 0x5579C1387B228445),
+    (0xFFFFFFFFFFFFFFFFFFFF, 0x0000000000000000, 0xE72C46C0F5945049),
+    (0x00000000000000000000, 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B),
+    (0xFFFFFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2),
+]
+
+
+class TestVectors:
+    @pytest.mark.parametrize("key,pt,ct", VECTORS_80)
+    def test_official_encrypt(self, key, pt, ct):
+        assert Present80(key).encrypt(pt) == ct
+
+    @pytest.mark.parametrize("key,pt,ct", VECTORS_80)
+    def test_official_decrypt(self, key, pt, ct):
+        assert Present80(key).decrypt(ct) == pt
+
+
+class TestStructure:
+    def test_player_is_a_permutation_with_fixed_points(self):
+        assert sorted(PLAYER) == list(range(64))
+        assert PLAYER[0] == 0 and PLAYER[63] == 63
+        for i in range(64):
+            assert PLAYER_INV[PLAYER[i]] == i
+
+    def test_32_round_keys(self):
+        cipher = Present80(0xABCDEF)
+        assert len(cipher.round_keys) == 32
+        assert all(0 <= k < (1 << 64) for k in cipher.round_keys)
+
+    def test_round_states_consistent_with_encrypt(self):
+        cipher = Present80(0x42)
+        pt = 0x0123456789ABCDEF
+        states = cipher.round_states(pt)
+        assert states[0] == pt
+        assert len(states) == 32
+        assert states[-1] ^ cipher.round_keys[31] == cipher.encrypt(pt)
+
+    def test_last_round_sbox_input_matches_manual(self):
+        cipher = Present80(0x987654321)
+        pt = 0x1122334455667788
+        state = cipher.round_states(pt)[30] ^ cipher.round_keys[30]
+        for nib in range(16):
+            assert cipher.last_round_sbox_input(pt, nib) == (state >> (4 * nib)) & 0xF
+
+    def test_rejects_oversized_inputs(self):
+        with pytest.raises(ValueError):
+            Present80(1 << 80)
+        with pytest.raises(ValueError):
+            Present80(0).encrypt(1 << 64)
+        with pytest.raises(ValueError):
+            Present80(0).decrypt(-1)
+
+
+class TestProperties:
+    @given(st.integers(0, (1 << 80) - 1), st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, pt):
+        cipher = Present80(key)
+        assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+    def test_avalanche(self):
+        cipher = Present80(0xA5A5A5A5A5A5A5A5A5A5)
+        base = cipher.encrypt(0)
+        flips = bin(base ^ cipher.encrypt(1)).count("1")
+        assert 16 <= flips <= 48
+
+    def test_key_sensitivity(self):
+        pt = 0x0F0F0F0F0F0F0F0F
+        assert Present80(0).encrypt(pt) != Present80(1).encrypt(pt)
+
+
+class TestPresent128:
+    def test_roundtrip(self):
+        cipher = Present128(0x0123456789ABCDEF0123456789ABCDEF)
+        for pt in (0, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEF00D):
+            assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+    def test_differs_from_80bit_schedule(self):
+        assert Present128(0).encrypt(0) != Present80(0).encrypt(0)

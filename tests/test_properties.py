@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests (hypothesis) on the substrate.
+
+These complement the per-module suites with whole-pipeline invariants:
+Verilog round-trips, optimisation/mapping composition, GateCache semantics
+against a reference evaluator, and the countermeasure's detect-or-
+ineffective invariant under randomly placed faults.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import COMBINATIONAL_TYPES, GateType
+from repro.netlist.simulator import Simulator
+from repro.netlist.verilog import from_verilog, to_verilog
+from repro.synth.optimize import optimize
+from repro.tech.mapping import map_to_cells
+from tests.conftest import TEST_KEY80
+
+
+def random_circuit(seed, n_inputs=4, n_gates=25, with_dffs=True):
+    rng = np.random.default_rng(seed)
+    c = Circuit("rand")
+    nets = list(c.add_input("x", n_inputs))
+    nets.append(c.const(0))
+    nets.append(c.const(1))
+    types = sorted(COMBINATIONAL_TYPES, key=lambda g: g.value)
+    dffs = 0
+    for _ in range(n_gates):
+        gtype = types[rng.integers(len(types))]
+        ins = tuple(int(nets[rng.integers(len(nets))]) for _ in range(gtype.arity))
+        nets.append(c.add_gate(gtype, ins))
+        if with_dffs and dffs < 3 and rng.random() < 0.1:
+            nets.append(c.add_gate(GateType.DFF, (nets[-1],), init=int(rng.integers(2))))
+            dffs += 1
+    c.set_output("y", nets[-4:])
+    return c
+
+
+def behaviour(circuit, cycles=2):
+    sim = Simulator(circuit, batch=16)
+    sim.set_input_ints("x", list(range(16)))
+    sim.run(cycles)
+    sim.eval_comb()
+    return sim.get_output_ints("y")
+
+
+class TestVerilogRoundTripProperty:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_preserves_behaviour(self, seed):
+        circ = random_circuit(seed)
+        rebuilt = from_verilog(to_verilog(circ))
+        for cycles in (0, 3):
+            assert behaviour(circ, cycles) == behaviour(rebuilt, cycles)
+
+
+class TestPassComposition:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_optimize_then_map_preserves_behaviour(self, seed):
+        circ = random_circuit(seed)
+        transformed = map_to_cells(optimize(circ))
+        for cycles in (0, 2):
+            assert behaviour(circ, cycles) == behaviour(transformed, cycles)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_pipeline_exports_valid_verilog(self, seed):
+        circ = map_to_cells(optimize(random_circuit(seed)))
+        rebuilt = from_verilog(to_verilog(circ))
+        assert behaviour(circ) == behaviour(rebuilt)
+
+
+class TestGateCacheSemanticsProperty:
+    """Random op sequences through the GateCache must equal a model
+    evaluation (the cache's folds are only allowed to be identities)."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=5, max_value=25),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_against_integer_model(self, seed, n_ops):
+        from repro.netlist.builder import CircuitBuilder
+        from repro.synth.gatecache import GateCache
+
+        rng = np.random.default_rng(seed)
+        builder = CircuitBuilder("gc")
+        x = builder.input("x", 4)
+        cache = GateCache(builder)
+
+        # model: each net id -> 16-bit truth mask over the 16 input patterns
+        model = {}
+        for i, net in enumerate(x):
+            mask = 0
+            for p in range(16):
+                mask |= ((p >> i) & 1) << p
+            model[net] = mask
+        model[cache.zero] = 0
+        model[cache.one] = 0xFFFF
+
+        nets = list(x) + [cache.zero, cache.one]
+        ops = ["not", "and", "or", "xor", "xnor", "nand", "nor", "mux"]
+        for _ in range(n_ops):
+            op = ops[rng.integers(len(ops))]
+            a, b, c = (nets[rng.integers(len(nets))] for _ in range(3))
+            if op == "not":
+                net, val = cache.g_not(a), model[a] ^ 0xFFFF
+            elif op == "and":
+                net, val = cache.g_and(a, b), model[a] & model[b]
+            elif op == "or":
+                net, val = cache.g_or(a, b), model[a] | model[b]
+            elif op == "xor":
+                net, val = cache.g_xor(a, b), model[a] ^ model[b]
+            elif op == "xnor":
+                net, val = cache.g_xnor(a, b), (model[a] ^ model[b]) ^ 0xFFFF
+            elif op == "nand":
+                net, val = cache.g_nand(a, b), (model[a] & model[b]) ^ 0xFFFF
+            elif op == "nor":
+                net, val = cache.g_nor(a, b), (model[a] | model[b]) ^ 0xFFFF
+            else:
+                net = cache.g_mux(a, b, c)
+                val = (model[a] & model[c]) | ((model[a] ^ 0xFFFF) & model[b])
+            if net in model:
+                assert model[net] == val, f"cache folded {op} incorrectly"
+            model[net] = val
+            nets.append(net)
+
+        builder.output("y", nets[-4:])
+        sim = Simulator(builder.circuit, batch=16)
+        sim.set_input_ints("x", list(range(16)))
+        sim.eval_comb()
+        got = sim.get_output_bits("y")
+        for j, net in enumerate(nets[-4:]):
+            for p in range(16):
+                assert got[p, j] == (model[net] >> p) & 1
+
+
+class TestDetectOrIneffectiveProperty:
+    """The paper's core soundness claim as a sampled property: a single
+    fault on any S-box wire of either core never releases a wrong word."""
+
+    @given(
+        st.integers(min_value=0, max_value=1),  # core
+        st.integers(min_value=0, max_value=15),  # sbox
+        st.integers(min_value=0, max_value=3),  # bit
+        st.sampled_from([FaultType.STUCK_AT_0, FaultType.STUCK_AT_1, FaultType.BIT_FLIP]),
+        st.integers(min_value=0, max_value=30),  # cycle
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_never_effective(self, core_idx, sbox, bit, fault_type, cycle):
+        # hypothesis doesn't inject fixtures; build once and cache on the class
+        design = self._design()
+        from repro.faults.models import sbox_input_net
+
+        net = sbox_input_net(design.cores[core_idx], sbox, bit)
+        spec = FaultSpec.at(net, fault_type, cycle)
+        res = run_campaign(design, [spec], n_runs=32, key=TEST_KEY80, seed=cycle)
+        assert res.count(Outcome.EFFECTIVE) == 0
+
+    @classmethod
+    def _design(cls):
+        if not hasattr(cls, "_cached"):
+            from repro.ciphers.netlist_present import PresentSpec
+            from repro.countermeasures import build_three_in_one
+
+            cls._cached = build_three_in_one(PresentSpec())
+        return cls._cached

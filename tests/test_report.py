@@ -1,0 +1,57 @@
+"""ASCII report rendering edge cases."""
+
+import numpy as np
+
+from repro.evaluation.report import render_histogram, render_table
+
+
+class TestRenderTable:
+    def test_column_widths_fit_content(self):
+        text = render_table(
+            ["a", "long-header"], [["xxxxxxxxxx", 1.5]], title=""
+        )
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len(header.rstrip())
+        assert "xxxxxxxxxx" in row
+
+    def test_numeric_cells_right_aligned(self):
+        text = render_table(["name", "value"], [["a", 1000.0], ["bb", 5.0]])
+        lines = text.splitlines()
+        # the shorter number ends at the same column as the longer one
+        assert lines[2].rstrip().endswith("1000.00")
+        assert lines[3].rstrip().endswith("5.00")
+
+    def test_empty_rows(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text and "headers" in text
+
+    def test_mixed_types_formatted(self):
+        text = render_table(
+            ["x"], [[None], [3], ["1.32x"], [2.5]]
+        )
+        assert "None" in text and "1.32x" in text and "2.50" in text
+
+    def test_title_prepended(self):
+        assert render_table(["h"], [["v"]], title="T1").splitlines()[0] == "T1"
+
+
+class TestRenderHistogram:
+    def test_peak_scales_to_width(self):
+        text = render_histogram(np.array([1, 2, 4]), width=8)
+        lines = text.splitlines()
+        assert "#" * 8 in lines[2]
+        assert "#" * 4 in lines[1]
+        assert "#" * 2 in lines[0]
+
+    def test_counts_printed(self):
+        text = render_histogram(np.array([7, 0]))
+        assert text.splitlines()[0].endswith(" 7")
+        assert text.splitlines()[1].endswith(" 0")
+
+    def test_custom_label_format(self):
+        text = render_histogram(np.array([1, 1]), label_fmt="{:>3d}")
+        assert "  0 |" in text and "  1 |" in text
+
+    def test_all_zero_histogram_no_division_error(self):
+        text = render_histogram(np.zeros(3, dtype=int))
+        assert text.count("|") == 3

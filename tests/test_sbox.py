@@ -1,0 +1,71 @@
+"""SBox objects: lookup tables, DDT, merged truth tables."""
+
+import pytest
+
+from repro.ciphers.sbox import GIFT_SBOX, PRESENT_SBOX, SBox
+
+
+class TestConstruction:
+    def test_rejects_non_bijection(self):
+        with pytest.raises(ValueError):
+            SBox([0, 0, 1, 2])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SBox([0, 1, 2])
+
+    def test_size_and_call(self):
+        assert PRESENT_SBOX.n == 4
+        assert len(PRESENT_SBOX) == 16
+        assert PRESENT_SBOX(0) == 0xC
+        assert GIFT_SBOX(0xF) == 0xE
+
+    def test_inverse_roundtrip(self):
+        for x in range(16):
+            assert PRESENT_SBOX.inverse(PRESENT_SBOX(x)) == x
+
+    def test_inverse_sbox_object(self):
+        inv = PRESENT_SBOX.inverse_sbox()
+        assert inv.name == "present_inv"
+        for x in range(16):
+            assert inv(PRESENT_SBOX(x)) == x
+
+
+class TestDDT:
+    def test_zero_difference_row(self):
+        ddt = PRESENT_SBOX.ddt()
+        assert ddt[0][0] == 16
+        assert all(v == 0 for v in ddt[0][1:])
+
+    def test_rows_sum_to_size(self):
+        ddt = PRESENT_SBOX.ddt()
+        for row in ddt:
+            assert sum(row) == 16
+
+    def test_present_is_differentially_4_uniform(self):
+        ddt = PRESENT_SBOX.ddt()
+        worst = max(max(row) for row in ddt[1:])
+        assert worst == 4  # the PRESENT design criterion
+
+    def test_diff_candidates_match_ddt(self):
+        ddt = PRESENT_SBOX.ddt()
+        for dx in (1, 5, 0xF):
+            for dy in range(16):
+                assert len(PRESENT_SBOX.diff_candidates(dx, dy)) == ddt[dx][dy]
+
+
+class TestMergedTable:
+    def test_merged_semantics(self):
+        merged = PRESENT_SBOX.merged_truthtable()
+        assert merged.n_inputs == 5
+        for x in range(16):
+            assert merged(x) == PRESENT_SBOX(x)
+            assert merged(16 + x) == PRESENT_SBOX(x ^ 0xF) ^ 0xF
+
+    def test_truthtable_matches_table(self):
+        tt = GIFT_SBOX.truthtable()
+        assert tt.table == GIFT_SBOX.table
+        assert tt.is_permutation()
+
+    def test_repr(self):
+        assert "4x4" in repr(PRESENT_SBOX)

@@ -1,0 +1,85 @@
+"""Standalone S-box layer circuits (the Table III units)."""
+
+import pytest
+
+from repro.ciphers.netlist_sbox_layer import build_sbox_layer
+from repro.ciphers.sbox import PRESENT_SBOX
+from repro.netlist.simulator import Simulator
+from repro.rng import make_rng, random_ints
+from repro.tech import area_of
+
+
+class TestPlainLayer:
+    @pytest.fixture(scope="class")
+    def layer(self):
+        return build_sbox_layer(PRESENT_SBOX, n_boxes=4, copies=2, merged=False)
+
+    def test_ports(self, layer):
+        assert len(layer.inputs["x"]) == 16
+        assert len(layer.outputs["y0"]) == 16
+        assert len(layer.outputs["y1"]) == 16
+        assert "lambda" not in layer.inputs
+
+    def test_both_copies_compute_the_layer(self, layer):
+        rng = make_rng(1)
+        vals = random_ints(rng, 32, 16)
+        sim = Simulator(layer, batch=32)
+        sim.set_input_ints("x", vals)
+        sim.eval_comb()
+        expect = [
+            sum(PRESENT_SBOX((v >> (4 * j)) & 0xF) << (4 * j) for j in range(4))
+            for v in vals
+        ]
+        assert sim.get_output_ints("y0") == expect
+        assert sim.get_output_ints("y1") == expect
+
+
+class TestMergedLayer:
+    @pytest.fixture(scope="class")
+    def layer(self):
+        return build_sbox_layer(PRESENT_SBOX, n_boxes=4, copies=2, merged=True)
+
+    def test_lambda_port_present(self, layer):
+        assert len(layer.inputs["lambda"]) == 1
+
+    def test_copies_use_complementary_domains(self, layer):
+        """Copy 0 gets λ, copy 1 gets λ̄ — with shared raw inputs the two
+        outputs realise S in the two domains."""
+        rng = make_rng(2)
+        vals = random_ints(rng, 16, 16)
+        for lam in (0, 1):
+            sim = Simulator(layer, batch=16)
+            sim.set_input_ints("x", vals)
+            sim.set_input_ints("lambda", [lam] * 16)
+            sim.eval_comb()
+            y0 = sim.get_output_ints("y0")
+            y1 = sim.get_output_ints("y1")
+
+            def merged_eval(v, domain):
+                out = 0
+                for j in range(4):
+                    x = (v >> (4 * j)) & 0xF
+                    y = PRESENT_SBOX(x) if domain == 0 else PRESENT_SBOX(x ^ 0xF) ^ 0xF
+                    out |= y << (4 * j)
+                return out
+
+            assert y0 == [merged_eval(v, lam) for v in vals]
+            assert y1 == [merged_eval(v, lam ^ 1) for v in vals]
+
+    def test_merged_layer_costs_about_double(self, layer):
+        plain = build_sbox_layer(PRESENT_SBOX, n_boxes=4, copies=2, merged=False)
+        ratio = area_of(layer).total / area_of(plain).total
+        assert 1.5 <= ratio <= 3.0  # the Table III shape at layer granularity
+
+    def test_construction_variants(self):
+        for construction in ("separate", "xor_wrap"):
+            layer = build_sbox_layer(
+                PRESENT_SBOX, n_boxes=2, copies=1, merged=True,
+                construction=construction,
+            )
+            sim = Simulator(layer, batch=4)
+            sim.set_input_ints("x", [0x00, 0xFF, 0x5A, 0xC3])
+            sim.set_input_ints("lambda", [0, 0, 1, 1])
+            sim.eval_comb()
+            got = sim.get_output_ints("y0")
+            assert got[0] == (PRESENT_SBOX(0) | (PRESENT_SBOX(0) << 4))

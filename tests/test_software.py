@@ -1,0 +1,147 @@
+"""Software realisation: correctness, §IV-A cost claim, fault behaviour."""
+
+import pytest
+
+from repro.ciphers.present import Present80
+from repro.faults.models import FaultType
+from repro.rng import make_rng, random_ints
+from repro.software import (
+    ProtectedSoftwarePresent,
+    SoftwareFault,
+    SoftwarePresent,
+)
+
+KEY = 0x0011223344556677_8899 * 1  # 80-bit
+
+
+class TestBaseline:
+    def test_matches_reference(self):
+        sw = SoftwarePresent(KEY)
+        ref = Present80(KEY)
+        rng = make_rng(1)
+        for pt in random_ints(rng, 10, 64):
+            assert sw.encrypt(pt) == ref.encrypt(pt)
+
+    def test_official_vector(self):
+        assert SoftwarePresent(0).encrypt(0) == 0x5579C1387B228445
+
+    def test_duplicated_agrees_when_clean(self):
+        sw = SoftwarePresent(KEY)
+        released, detected = sw.encrypt_duplicated(0x1234)
+        assert released == sw.encrypt(0x1234) and not detected
+
+
+class TestProtectedCorrectness:
+    @pytest.mark.parametrize("lam", [0, 1])
+    def test_both_domains_match_reference(self, lam):
+        sw = ProtectedSoftwarePresent(KEY)
+        ref = Present80(KEY)
+        rng = make_rng(2)
+        for pt in random_ints(rng, 10, 64):
+            released, detected = sw.encrypt_protected(pt, lam=lam)
+            assert released == ref.encrypt(pt) and not detected
+
+    def test_random_lambda_path(self):
+        sw = ProtectedSoftwarePresent(KEY)
+        ref = Present80(KEY)
+        released, detected = sw.encrypt_protected(0xABCDEF, rng=7)
+        assert released == ref.encrypt(0xABCDEF) and not detected
+
+
+class TestCostClaim:
+    """Paper §IV-A: software cost ≈ duplication; code size marginally up."""
+
+    def count(self, run) -> int:
+        run_obj, call = run
+        call()
+        return run_obj.counter.total_ops
+
+    def test_op_count_within_two_percent_of_duplication(self):
+        pt = 0x0123456789ABCDEF
+        naive = SoftwarePresent(KEY)
+        naive.encrypt_duplicated(pt)
+        ours = ProtectedSoftwarePresent(KEY)
+        ours.encrypt_protected(pt, lam=1)
+        ratio = ours.counter.total_ops / naive.counter.total_ops
+        assert 1.0 <= ratio <= 1.02
+
+    def test_table_bytes_marginally_increased(self):
+        naive = SoftwarePresent(KEY)
+        ours = ProtectedSoftwarePresent(KEY)
+        assert ours.counter.table_bytes == naive.counter.table_bytes + 32
+
+    def test_lookup_count_identical(self):
+        pt = 0x42
+        naive = SoftwarePresent(KEY)
+        naive.encrypt_duplicated(pt)
+        ours = ProtectedSoftwarePresent(KEY)
+        ours.encrypt_protected(pt, lam=0)
+        assert ours.counter.table_lookups == naive.counter.table_lookups
+
+
+class TestSoftwareFaults:
+    def test_identical_fault_bypasses_duplication(self):
+        sw = SoftwarePresent(KEY)
+        pt = 0xDEADBEEF12345678
+        faults = (
+            SoftwareFault(bit=21, fault_type=FaultType.BIT_FLIP, round_=31, computation=0),
+            SoftwareFault(bit=21, fault_type=FaultType.BIT_FLIP, round_=31, computation=1),
+        )
+        released, detected = sw.encrypt_duplicated(pt, faults=faults)
+        assert not detected
+        assert released is not None and released != sw.encrypt(pt)
+
+    def test_identical_fault_detected_by_protection(self):
+        sw = ProtectedSoftwarePresent(KEY)
+        pt = 0xDEADBEEF12345678
+        for lam in (0, 1):
+            faults = (
+                SoftwareFault(bit=21, fault_type=FaultType.STUCK_AT_0, round_=31, computation=0),
+                SoftwareFault(bit=21, fault_type=FaultType.STUCK_AT_0, round_=31, computation=1),
+            )
+            released, detected = sw.encrypt_protected(pt, lam=lam, faults=faults)
+            assert detected and released is None
+
+    def test_single_fault_never_escapes_protection(self):
+        sw = ProtectedSoftwarePresent(KEY)
+        ref = Present80(KEY)
+        rng = make_rng(5)
+        for pt in random_ints(rng, 20, 64):
+            fault = SoftwareFault(
+                bit=int(rng.integers(64)),
+                fault_type=FaultType.STUCK_AT_0,
+                round_=int(rng.integers(1, 32)),
+            )
+            released, detected = sw.encrypt_protected(
+                pt, lam=int(rng.integers(2)), faults=(fault,)
+            )
+            assert detected or released == ref.encrypt(pt)
+
+    def test_sifa_bias_reproduces_in_software(self):
+        """Stuck-at-0 on one state bit: the naïve ineffective set is biased
+        to runs where the bit was 0; the protected set is λ-balanced."""
+        rng = make_rng(9)
+        pts = random_ints(rng, 400, 64)
+        fault0 = SoftwareFault(bit=12, fault_type=FaultType.STUCK_AT_0, round_=31)
+
+        naive = SoftwarePresent(KEY)
+        ref = Present80(KEY)
+        biased_bits = []
+        for pt in pts:
+            released, detected = naive.encrypt_duplicated(pt, faults=(fault0,))
+            if released is not None:
+                state = ref.round_states(pt)[30] ^ ref.round_keys[30]
+                biased_bits.append((state >> 12) & 1)
+        assert biased_bits and all(b == 0 for b in biased_bits)
+
+        ours = ProtectedSoftwarePresent(KEY)
+        protected_bits = []
+        for i, pt in enumerate(pts):
+            released, detected = ours.encrypt_protected(
+                pt, lam=i % 2, faults=(fault0,)
+            )
+            if released is not None:
+                state = ref.round_states(pt)[30] ^ ref.round_keys[30]
+                protected_bits.append((state >> 12) & 1)
+        ones = sum(protected_bits)
+        assert 0.3 < ones / len(protected_bits) < 0.7

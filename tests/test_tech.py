@@ -1,0 +1,79 @@
+"""Cell libraries and GE area accounting."""
+
+import pytest
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gates import GateType
+from repro.tech import NANGATE45, PAPER_CALIBRATED, area_of
+from repro.tech.library import CellLibrary
+
+
+class TestLibraries:
+    def test_nand2_is_the_unit(self):
+        assert NANGATE45.cost(GateType.NAND) == 1.0
+        assert NANGATE45.cost(GateType.NOR) == 1.0
+
+    def test_relative_costs_sane(self):
+        assert NANGATE45.cost(GateType.NOT) < NANGATE45.cost(GateType.AND)
+        assert NANGATE45.cost(GateType.XOR) > NANGATE45.cost(GateType.AND)
+        assert NANGATE45.cost(GateType.DFF) > NANGATE45.cost(GateType.MUX)
+
+    def test_sources_are_free(self):
+        for gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            assert NANGATE45.cost(gtype) == 0.0
+
+    def test_calibrated_dff_matches_paper_register_file(self):
+        # 288 duplicated state+key flops must price at Table II's 1807 GE
+        assert PAPER_CALIBRATED.cost(GateType.DFF) * 288 == pytest.approx(1807.0)
+
+    def test_combinational_costs_identical_across_libraries(self):
+        for gtype in GateType:
+            if gtype is GateType.DFF:
+                continue
+            assert NANGATE45.cost(gtype) == PAPER_CALIBRATED.cost(gtype)
+
+    def test_sequential_classification(self):
+        assert NANGATE45.is_sequential(GateType.DFF)
+        assert not NANGATE45.is_sequential(GateType.MUX)
+
+    def test_missing_cell_raises(self):
+        tiny = CellLibrary(name="tiny", ge={GateType.AND: 1.0})
+        with pytest.raises(KeyError):
+            tiny.cost(GateType.XOR)
+
+
+class TestAreaOf:
+    def make_circuit(self):
+        b = CircuitBuilder("dut")
+        x = b.input("x", 2)
+        y = b.xor(x[0], x[1])  # 2.00
+        z = b.and_(x[0], y)  # 1.33
+        q = b.dff(z)  # 6.67 (nangate)
+        b.output("y", [q])
+        return b.circuit
+
+    def test_split_and_total(self):
+        report = area_of(self.make_circuit(), library=NANGATE45)
+        assert report.combinational == pytest.approx(3.33)
+        assert report.non_combinational == pytest.approx(6.67)
+        assert report.total == pytest.approx(10.0)
+
+    def test_cell_counts(self):
+        report = area_of(self.make_circuit(), library=NANGATE45)
+        assert report.cell_counts == {"xor": 1, "and": 1, "dff": 1}
+
+    def test_ratio_to(self):
+        base = area_of(self.make_circuit(), library=NANGATE45)
+        assert base.ratio_to(base) == pytest.approx(1.0)
+
+    def test_ratio_to_zero_baseline_rejected(self):
+        b = CircuitBuilder("empty")
+        b.input("x", 1)
+        b.output("y", [b.circuit.inputs["x"][0]])
+        zero = area_of(b.circuit)
+        with pytest.raises(ZeroDivisionError):
+            area_of(self.make_circuit()).ratio_to(zero)
+
+    def test_str_rendering(self):
+        text = str(area_of(self.make_circuit(), library=NANGATE45))
+        assert "comb=3 GE" in text and "total=10 GE" in text

@@ -1,0 +1,137 @@
+"""Boundary-of-model experiments for the paper's §IV-B discussion.
+
+The paper is explicit about what its countermeasure does and does not
+cover; these tests pin each statement to an executable experiment:
+
+- §IV-B.3 *two biased faults* at distinct data locations: still no
+  exploitable release;
+- §IV-B.4 *inverted fault masks* (a fault in one computation and its exact
+  complement in the other): acknowledged in the paper as the one
+  duplication-level blind spot — we demonstrate it is real, and that the
+  paper's practicality argument (the attacker must realise *complementary*
+  physical effects simultaneously) is the only thing standing in its way;
+- λ pinning (the ACISP'20 λ-security assumption): an attacker who can hold
+  the TRNG output at a known value re-enables SIFA — two faults per run,
+  outside the paper's single-fault model, but the reason TRNG integrity
+  matters.
+"""
+
+import pytest
+
+from repro.attacks import sifa_attack
+from repro.countermeasures import build_three_in_one
+from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
+from repro.faults.models import last_round, sbox_input_net
+from tests.conftest import TEST_KEY80
+
+
+class TestTwoBiasedFaults:
+    """§IV-B.3: two biased faults at distinct locations yield nothing."""
+
+    def test_no_release_and_no_bias(self, ours_prime, present_spec):
+        design = ours_prime
+        core = design.cores[0]
+        specs = [
+            FaultSpec.at(
+                sbox_input_net(core, 7, 1), FaultType.STUCK_AT_0,
+                present_spec.rounds - 2,
+            ),
+            FaultSpec.at(
+                sbox_input_net(core, 2, 0), FaultType.STUCK_AT_0,
+                present_spec.rounds - 2,
+            ),
+        ]
+        res = run_campaign(design, specs, n_runs=12_000, key=TEST_KEY80, seed=17)
+        assert res.count(Outcome.EFFECTIVE) == 0
+        atk = sifa_attack(res, present_spec, 7, 1)
+        assert not atk.success
+
+    def test_two_faults_across_cores_distinct_locations(self, ours_prime):
+        """Different wires in different cores: the complementary encodings
+        make simultaneous ineffectiveness data-independent, so detection or
+        correct release are the only outcomes."""
+        design = ours_prime
+        specs = [
+            FaultSpec.at(
+                sbox_input_net(design.cores[0], 3, 2), FaultType.STUCK_AT_0,
+                last_round(design.cores[0]),
+            ),
+            FaultSpec.at(
+                sbox_input_net(design.cores[1], 11, 1), FaultType.STUCK_AT_0,
+                last_round(design.cores[1]),
+            ),
+        ]
+        res = run_campaign(design, specs, n_runs=4_000, key=TEST_KEY80, seed=19)
+        assert res.count(Outcome.EFFECTIVE) == 0
+
+
+class TestInvertedFaultMask:
+    """§IV-B.4: the acknowledged blind spot, demonstrated."""
+
+    def test_complementary_stuck_ats_bypass_the_comparator(
+        self, ours_prime, present_spec
+    ):
+        design = ours_prime
+        net_a = sbox_input_net(design.cores[0], 5, 1)
+        net_r = sbox_input_net(design.cores[1], 5, 1)
+        specs = [
+            FaultSpec.at(net_a, FaultType.STUCK_AT_0, last_round(design.cores[0])),
+            FaultSpec.at(net_r, FaultType.STUCK_AT_1, last_round(design.cores[1])),
+        ]
+        res = run_campaign(design, specs, n_runs=4_000, key=TEST_KEY80, seed=23)
+        # the two cores hold complementary physical values, so stuck-at-0
+        # on one and stuck-at-1 on the other create the *same logical
+        # error* — the comparator sees agreement and releases faulty words
+        assert res.count(Outcome.EFFECTIVE) > 1200
+        assert res.count(Outcome.DETECTED) == 0
+
+    def test_identical_masks_remain_covered(self, ours_prime):
+        """...whereas the *same* polarity in both cores (the FDTC'16 model
+        the paper actually defends against) is always caught."""
+        design = ours_prime
+        specs = [
+            FaultSpec.at(
+                sbox_input_net(core, 5, 1), FaultType.STUCK_AT_1,
+                last_round(core),
+            )
+            for core in design.cores
+        ]
+        res = run_campaign(design, specs, n_runs=2_000, key=TEST_KEY80, seed=29)
+        assert res.count(Outcome.DETECTED) == 2_000
+
+
+class TestLambdaPinning:
+    """Holding the TRNG output at a known value re-enables SIFA — two
+    simultaneous faults, outside the paper's model, but the executable
+    form of 'λ must remain secret and fresh'."""
+
+    def test_pinned_lambda_restores_the_bias(self, present_spec):
+        design = build_three_in_one(present_spec)
+        lambda_net = design.circuit.inputs["lambda"][0]
+        core = design.cores[0]
+        specs = [
+            # fault 1: pin λ to 0 for the whole run
+            FaultSpec.at(lambda_net, FaultType.STUCK_AT_0, None),
+            # fault 2: the usual biased data fault
+            FaultSpec.at(
+                sbox_input_net(core, 7, 1), FaultType.STUCK_AT_0,
+                present_spec.rounds - 2,
+            ),
+        ]
+        res = run_campaign(design, specs, n_runs=16_000, key=TEST_KEY80, seed=31)
+        # detection still prevents wrong releases...
+        assert res.count(Outcome.EFFECTIVE) == 0
+        # ...but the ineffective set is data-biased again: SIFA succeeds
+        atk = sifa_attack(res, present_spec, 7, 1)
+        assert atk.success
+
+    def test_free_lambda_blocks_the_same_attack(self, ours_prime, present_spec):
+        design = ours_prime
+        core = design.cores[0]
+        spec = FaultSpec.at(
+            sbox_input_net(core, 7, 1), FaultType.STUCK_AT_0,
+            present_spec.rounds - 2,
+        )
+        res = run_campaign(design, [spec], n_runs=16_000, key=TEST_KEY80, seed=31)
+        atk = sifa_attack(res, present_spec, 7, 1)
+        assert not atk.success

@@ -1,0 +1,80 @@
+"""Static timing analysis."""
+
+import pytest
+
+from repro.netlist.builder import CircuitBuilder
+from repro.tech.timing import CELL_DELAY, critical_path
+from repro.netlist.gates import GateType
+
+
+class TestCriticalPath:
+    def test_chain_delay_adds_up(self):
+        b = CircuitBuilder("chain")
+        x = b.input("x", 1)
+        net = x[0]
+        for _ in range(5):
+            net = b.not_(net)
+        b.output("y", [net])
+        report = critical_path(b.circuit)
+        assert report.delay == pytest.approx(5 * CELL_DELAY[GateType.NOT])
+        # the path lists the source stage plus the five inverters
+        assert len(report.path) == 6
+        assert report.path[0].startswith("input")
+
+    def test_longest_branch_wins(self):
+        b = CircuitBuilder()
+        x = b.input("x", 2)
+        short = b.not_(x[0])
+        long = b.xor(b.xor(x[0], x[1]), x[1])
+        b.output("y", [b.and_(short, long)])
+        report = critical_path(b.circuit)
+        expect = 2 * CELL_DELAY[GateType.XOR] + CELL_DELAY[GateType.AND]
+        assert report.delay == pytest.approx(expect)
+
+    def test_register_to_register_path(self):
+        b = CircuitBuilder()
+        q, connect = b.register(1)
+        d = b.not_(b.not_(q[0]))
+        connect([d])
+        b.output("y", q)
+        report = critical_path(b.circuit)
+        expect = CELL_DELAY[GateType.DFF] + 2 * CELL_DELAY[GateType.NOT]
+        assert report.delay == pytest.approx(expect)
+
+    def test_empty_circuit(self):
+        b = CircuitBuilder("empty")
+        report = critical_path(b.circuit)
+        assert report.delay == 0.0 and report.path == ()
+
+    def test_path_labels_are_readable(self):
+        b = CircuitBuilder()
+        x = b.input("x", 2)
+        b.output("y", [b.and_(x[0], x[1], tag="core/mix")])
+        report = critical_path(b.circuit)
+        assert any("core/mix" in stage for stage in report.path)
+
+    def test_ratio_to(self):
+        b1 = CircuitBuilder()
+        x = b1.input("x", 1)
+        b1.output("y", [b1.not_(x[0])])
+        b2 = CircuitBuilder()
+        x2 = b2.input("x", 1)
+        b2.output("y", [b2.not_(b2.not_(x2[0]))])
+        r1, r2 = critical_path(b1.circuit), critical_path(b2.circuit)
+        assert r2.ratio_to(r1) == pytest.approx(2.0)
+
+
+class TestClockPeriodClaim:
+    """Paper §IV-A: same cycle count, and the countermeasure should not
+    blow up the clock period either."""
+
+    def test_three_in_one_path_close_to_naive(
+        self, naive_design, ours_prime
+    ):
+        naive_t = critical_path(naive_design.circuit)
+        ours_t = critical_path(ours_prime.circuit)
+        # merged S-boxes are one variable deeper; allow up to +40%
+        assert 1.0 <= ours_t.ratio_to(naive_t) <= 1.4
+
+    def test_same_cycle_count(self, naive_design, ours_prime, ours_per_sbox):
+        assert naive_design.cycles == ours_prime.cycles == ours_per_sbox.cycles

@@ -1,0 +1,71 @@
+"""Topological ordering of combinational logic."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.netlist.topo import combinational_order
+
+
+def position_map(order):
+    return {gate.out: i for i, gate in enumerate(order)}
+
+
+class TestOrdering:
+    def test_every_gate_after_its_drivers(self):
+        c = Circuit()
+        a = c.add_input("a", 4)
+        g1 = c.add_gate(GateType.AND, (a[0], a[1]))
+        g2 = c.add_gate(GateType.OR, (a[2], a[3]))
+        g3 = c.add_gate(GateType.XOR, (g1, g2))
+        g4 = c.add_gate(GateType.NOT, (g3,))
+        order = combinational_order(c)
+        pos = position_map(order)
+        assert pos[g3] > pos[g1] and pos[g3] > pos[g2]
+        assert pos[g4] > pos[g3]
+
+    def test_insertion_order_is_not_trusted(self):
+        # construct gates out of dependency order via pre-allocated nets
+        c = Circuit()
+        a = c.add_input("a", 2)
+        late = c.new_net()
+        g_top = c.add_gate(GateType.NOT, (late,))
+        c.add_gate(GateType.AND, (a[0], a[1]), out=late)
+        order = combinational_order(c)
+        pos = position_map(order)
+        assert pos[late] < pos[g_top]
+
+    def test_dff_outputs_are_sources(self):
+        c = Circuit()
+        q = c.new_net()
+        inv = c.add_gate(GateType.NOT, (q,))
+        c.add_gate(GateType.DFF, (inv,), out=q)
+        order = combinational_order(c)
+        assert [g.out for g in order] == [inv]
+
+    def test_duplicate_input_references_handled(self):
+        c = Circuit()
+        mid = c.new_net()
+        sq = c.add_gate(GateType.AND, (mid, mid))
+        a = c.add_input("a", 1)
+        c.add_gate(GateType.NOT, (a[0],), out=mid)
+        pos = position_map(combinational_order(c))
+        assert pos[mid] < pos[sq]
+
+    def test_cycle_reported_with_gate_info(self):
+        c = Circuit()
+        n1, n2 = c.new_net(), c.new_net()
+        c.add_gate(GateType.NOT, (n2,), out=n1)
+        c.add_gate(GateType.NOT, (n1,), out=n2)
+        with pytest.raises(ValueError, match="cycle"):
+            combinational_order(c)
+
+    def test_self_loop_detected(self):
+        c = Circuit()
+        n = c.new_net()
+        c.add_gate(GateType.BUF, (n,), out=n)
+        with pytest.raises(ValueError, match="cycle"):
+            combinational_order(c)
+
+    def test_empty_circuit(self):
+        assert combinational_order(Circuit()) == []

@@ -1,0 +1,86 @@
+"""TruthTable semantics, including the paper's inverted-domain transform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.truthtable import TruthTable
+
+PRESENT = [0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2]
+
+
+class TestConstruction:
+    def test_from_function(self):
+        tt = TruthTable.from_function(3, 1, lambda x: x & 1)
+        assert tt.table == [0, 1] * 4
+
+    def test_from_columns_inverse_of_column(self):
+        tt = TruthTable(4, 4, PRESENT)
+        again = TruthTable.from_columns(4, tt.columns())
+        assert again == tt
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            TruthTable(3, 2, [0] * 7)
+
+    def test_rejects_oversized_entries(self):
+        with pytest.raises(ValueError):
+            TruthTable(2, 2, [0, 1, 2, 4])
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 1, [])
+        with pytest.raises(ValueError):
+            TruthTable(1, 0, [0, 0])
+
+    def test_hash_eq(self):
+        t1 = TruthTable(4, 4, PRESENT)
+        t2 = TruthTable(4, 4, list(PRESENT))
+        assert t1 == t2 and hash(t1) == hash(t2)
+        assert t1 != TruthTable(4, 4, list(range(16)))
+
+
+class TestQueries:
+    def test_column_bit_extraction(self):
+        tt = TruthTable(2, 2, [0, 1, 2, 3])
+        assert tt.column(0) == 0b1010
+        assert tt.column(1) == 0b1100
+        with pytest.raises(IndexError):
+            tt.column(2)
+
+    def test_minterms(self):
+        tt = TruthTable(2, 1, [0, 1, 1, 0])
+        assert tt.minterms(0) == [1, 2]
+
+    def test_is_permutation(self):
+        assert TruthTable(4, 4, PRESENT).is_permutation()
+        assert not TruthTable(2, 2, [0, 0, 1, 2]).is_permutation()
+        assert not TruthTable(2, 1, [0, 1, 1, 0]).is_permutation()
+
+
+class TestInvertedDomain:
+    def test_defining_identity(self):
+        tt = TruthTable(4, 4, PRESENT)
+        inv = tt.inverted_domain()
+        for x in range(16):
+            assert inv(x ^ 0xF) == tt(x) ^ 0xF
+
+    def test_involution(self):
+        tt = TruthTable(4, 4, PRESENT)
+        assert tt.inverted_domain().inverted_domain() == tt
+
+    @given(st.lists(st.integers(0, 7), min_size=8, max_size=8))
+    @settings(max_examples=30)
+    def test_identity_on_random_tables(self, table):
+        tt = TruthTable(3, 3, table)
+        inv = tt.inverted_domain()
+        for x in range(8):
+            assert inv(x) == tt(x ^ 7) ^ 7
+
+    def test_merged_table_layout(self):
+        tt = TruthTable(4, 4, PRESENT)
+        merged = tt.merged_with_domain_bit()
+        assert merged.n_inputs == 5 and merged.n_outputs == 4
+        for x in range(16):
+            assert merged(x) == tt(x)  # λ=0 half: original
+            assert merged(16 + x) == tt(x ^ 0xF) ^ 0xF  # λ=1 half: inverted

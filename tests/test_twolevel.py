@@ -1,0 +1,85 @@
+"""Quine–McCluskey prime implicants and cover selection."""
+
+import pytest
+
+from repro.synth.twolevel import Cube, prime_implicants, select_cover
+
+
+class TestCube:
+    def test_covers(self):
+        cube = Cube(care=0b110, value=0b100)  # x2=1, x1=0, x0 free
+        assert cube.covers(0b100)
+        assert cube.covers(0b101)
+        assert not cube.covers(0b110)
+
+    def test_literals(self):
+        cube = Cube(care=0b101, value=0b100)
+        assert cube.literals(3) == [(0, False), (2, True)]
+
+    def test_rejects_value_outside_care(self):
+        with pytest.raises(ValueError):
+            Cube(care=0b001, value=0b010)
+
+    def test_equality_and_hash(self):
+        assert Cube(3, 1) == Cube(3, 1)
+        assert len({Cube(3, 1), Cube(3, 1), Cube(3, 2)}) == 2
+
+
+class TestPrimeImplicants:
+    def test_classic_textbook_example(self):
+        # f(a,b,c,d) = Σm(0,1,2,5,6,7,8,9,10,14) — a standard QM exercise
+        minterms = [0, 1, 2, 5, 6, 7, 8, 9, 10, 14]
+        primes = prime_implicants(4, minterms)
+        # every prime must cover only minterms
+        on = set(minterms)
+        for cube in primes:
+            covered = [m for m in range(16) if cube.covers(m)]
+            assert set(covered) <= on
+        # and together they must cover the on-set
+        assert {m for c in primes for m in range(16) if c.covers(m)} == on
+
+    def test_full_on_set_gives_tautology_cube(self):
+        primes = prime_implicants(3, list(range(8)))
+        assert primes == [Cube(0, 0)]
+
+    def test_single_minterm(self):
+        primes = prime_implicants(3, [5])
+        assert primes == [Cube(7, 5)]
+
+    def test_empty_on_set(self):
+        assert prime_implicants(3, []) == []
+
+    def test_duplicates_tolerated(self):
+        assert prime_implicants(2, [1, 1, 3]) == prime_implicants(2, [1, 3])
+
+
+class TestCoverSelection:
+    def test_cover_is_complete_and_prime(self):
+        minterms = [0, 1, 2, 5, 6, 7, 8, 9, 10, 14]
+        primes = prime_implicants(4, minterms)
+        cover = select_cover(4, minterms, primes)
+        for m in minterms:
+            assert any(c.covers(m) for c in cover)
+        assert all(c in primes for c in cover)
+
+    def test_essential_primes_always_selected(self):
+        # f = Σm(0,1,3): cube {0,1} (care=10) and {1,3} (care=01) are both
+        # prime; 0 and 3 each have a single covering prime -> both essential.
+        primes = prime_implicants(2, [0, 1, 3])
+        cover = select_cover(2, [0, 1, 3], primes)
+        assert set(cover) == set(primes)
+
+    def test_empty_inputs(self):
+        assert select_cover(3, [], []) == []
+
+    def test_uncoverable_minterm_rejected(self):
+        with pytest.raises(ValueError):
+            select_cover(2, [0], [Cube(0b11, 0b11)])
+
+    def test_greedy_path_on_large_residual(self):
+        # force the greedy branch with exact_limit=0
+        minterms = list(range(0, 16, 2))
+        primes = prime_implicants(4, minterms)
+        cover = select_cover(4, minterms, primes, exact_limit=0)
+        for m in minterms:
+            assert any(c.covers(m) for c in cover)
