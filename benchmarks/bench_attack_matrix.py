@@ -16,13 +16,13 @@ adversary, so both read "protected" here, and the residual statistical
 difference between constructions is examined in bench_variants_ablation.
 """
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
 from repro.evaluation import render_table
 from repro.evaluation.matrix import run_attack_matrix
 
 
 def run_matrix(n_runs: int):
-    return run_attack_matrix(n_runs, key=BENCH_KEY)
+    return run_attack_matrix(n_runs, key=BENCH_KEY, **campaign_knobs("matrix"))
 
 
 def test_attack_matrix(benchmark, artifact_dir, bench_runs):

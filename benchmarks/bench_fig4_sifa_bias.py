@@ -8,7 +8,7 @@ prints them as histograms, and additionally runs the actual SIFA key
 ranking to show the bias is (and stops being) *exploitable*.
 """
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
 from repro.attacks import sifa_attack
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_naive_duplication, build_three_in_one
@@ -19,7 +19,9 @@ from repro.faults.models import sbox_input_net
 
 def test_figure4(benchmark, artifact_dir, bench_runs):
     fig = benchmark.pedantic(
-        lambda: figure4(n_runs=bench_runs, key=BENCH_KEY), rounds=1, iterations=1
+        lambda: figure4(n_runs=bench_runs, key=BENCH_KEY, **campaign_knobs("fig4")),
+        rounds=1,
+        iterations=1,
     )
 
     # panel (a): support exactly on the 8 values with bit 2 == 0
@@ -66,8 +68,9 @@ def test_figure4_key_recovery(benchmark, artifact_dir, bench_runs):
             design = builder(spec)
             net = sbox_input_net(design.cores[0], 7, 1)
             fault = FaultSpec.at(net, FaultType.STUCK_AT_0, spec.rounds - 2)
+            knobs = campaign_knobs(f"fig4_recovery_{label}")
             campaign = run_campaign(
-                design, [fault], n_runs=n_runs, key=BENCH_KEY, seed=21
+                design, [fault], n_runs=n_runs, key=BENCH_KEY, seed=21, **knobs
             )
             out[label] = sifa_attack(campaign, spec, 7, 1)
         return out

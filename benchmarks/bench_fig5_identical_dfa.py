@@ -10,7 +10,7 @@ The benchmark regenerates both campaigns and then runs the end-to-end
 Selmke DFA to show the released bias actually yields the subkey.
 """
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
 from repro.attacks import selmke_attack
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_acisp20, build_naive_duplication, build_three_in_one
@@ -19,7 +19,9 @@ from repro.evaluation import figure5, render_histogram
 
 def test_figure5(benchmark, artifact_dir, bench_runs):
     fig = benchmark.pedantic(
-        lambda: figure5(n_runs=bench_runs, key=BENCH_KEY), rounds=1, iterations=1
+        lambda: figure5(n_runs=bench_runs, key=BENCH_KEY, **campaign_knobs("fig5")),
+        rounds=1,
+        iterations=1,
     )
 
     # naive: ~half the runs release faulty ciphertexts, none are detected
@@ -66,7 +68,7 @@ def test_figure5_selmke_dfa(benchmark, artifact_dir, bench_runs):
         ):
             out[label] = selmke_attack(
                 builder(spec), target_sbox=5, faulted_bit=1, key=BENCH_KEY,
-                n_runs=n_runs, seed=4,
+                n_runs=n_runs, seed=4, **campaign_knobs(f"fig5_selmke_{label}"),
             )
         return out
 

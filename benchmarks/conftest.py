@@ -9,6 +9,16 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_RUNS``
     Fault-campaign size for the figure benchmarks.  Defaults to the
     paper's 80,000 runs; set lower (e.g. 10000) for a quick pass.
+
+``REPRO_JOBS``
+    Worker processes for the campaign-heavy benchmarks (Fig. 4/5, attack
+    matrix).  Defaults to in-process execution; the results are
+    bit-identical either way (see the campaign determinism contract).
+
+``REPRO_CHECKPOINT_DIR``
+    When set, those campaigns checkpoint their shards under this directory
+    and *resume* from whatever a previous (killed, OOMed, ^C'd) benchmark
+    run already computed.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ import pytest
 
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "80000"))
 BENCH_KEY = 0x8F4E2D1C0B5A69783746
+BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "1")) or None
+BENCH_CHECKPOINT_DIR = os.environ.get("REPRO_CHECKPOINT_DIR") or None
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -33,6 +45,30 @@ def artifact_dir() -> pathlib.Path:
 @pytest.fixture(scope="session")
 def bench_runs() -> int:
     return BENCH_RUNS
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int | None:
+    return BENCH_JOBS
+
+
+@pytest.fixture(scope="session")
+def bench_checkpoint_dir() -> str | None:
+    return BENCH_CHECKPOINT_DIR
+
+
+def campaign_knobs(subdir: str) -> dict:
+    """Executor kwargs for a campaign-heavy benchmark (env-driven)."""
+    ckpt = (
+        pathlib.Path(BENCH_CHECKPOINT_DIR) / subdir
+        if BENCH_CHECKPOINT_DIR
+        else None
+    )
+    return {
+        "jobs": BENCH_JOBS,
+        "checkpoint_dir": ckpt,
+        "resume": ckpt is not None,
+    }
 
 
 def emit(artifact_dir: pathlib.Path, name: str, text: str) -> None:

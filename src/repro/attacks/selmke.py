@@ -51,13 +51,18 @@ def selmke_attack(
     n_runs: int = 20_000,
     seed: int = 1,
     max_pairs: int = 64,
+    jobs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> SelmkeResult:
     """Run the full identical-fault DFA against ``design``.
 
     Injects ``fault_type`` at input line ``faulted_bit`` of S-box
     ``target_sbox`` in the last round of *every* core of the design (the
     simultaneous double laser of the FDTC'16 setup), then attempts
-    last-round DFA on whatever faulty outputs escaped.
+    last-round DFA on whatever faulty outputs escaped.  The executor knobs
+    (``jobs``/``checkpoint_dir``/``resume``) are forwarded to the
+    underlying campaign.
     """
     specs = [
         FaultSpec.at(
@@ -68,7 +73,16 @@ def selmke_attack(
         )
         for core in design.cores
     ]
-    campaign = run_campaign(design, specs, n_runs=n_runs, key=key, seed=seed)
+    campaign = run_campaign(
+        design,
+        specs,
+        n_runs=n_runs,
+        key=key,
+        seed=seed,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     effective = campaign.select(Outcome.EFFECTIVE)[:max_pairs]
     if len(effective) == 0:
         return SelmkeResult(

@@ -4,9 +4,9 @@ Usage (after ``pip install -e .``)::
 
     python -m repro table2
     python -m repro table3
-    python -m repro fig4  --runs 80000
+    python -m repro fig4  --runs 80000 --jobs 4 --checkpoint-dir ckpt/fig4
     python -m repro fig5  --runs 80000
-    python -m repro matrix --runs 16000
+    python -m repro matrix --runs 16000 --resume --checkpoint-dir ckpt/matrix
     python -m repro sweep  --runs 10000
     python -m repro sca    --traces 500
     python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
@@ -53,7 +53,13 @@ def _cmd_table3(args) -> int:
 def _cmd_fig4(args) -> int:
     from repro.evaluation import figure4, render_histogram
 
-    fig = figure4(n_runs=args.runs, seed=args.seed)
+    fig = figure4(
+        n_runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(f"Fig. 4 — stuck-at-0 at S-box {fig.target_sbox} bit {fig.target_bit}, "
           f"last round, {args.runs} runs")
     print(render_histogram(
@@ -68,7 +74,13 @@ def _cmd_fig4(args) -> int:
 def _cmd_fig5(args) -> int:
     from repro.evaluation import figure5, render_histogram
 
-    fig = figure5(n_runs=args.runs, seed=args.seed)
+    fig = figure5(
+        n_runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(f"Fig. 5 — identical stuck-at-0 at S-box {fig.target_sbox} bit "
           f"{fig.target_bit} in both computations, {args.runs} runs")
     for series, label in ((fig.naive, "(a) naive duplication"), (fig.ours, "(b) our countermeasure")):
@@ -82,7 +94,12 @@ def _cmd_matrix(args) -> int:
     from repro.evaluation import render_table
     from repro.evaluation.matrix import run_attack_matrix
 
-    matrix = run_attack_matrix(args.runs)
+    matrix = run_attack_matrix(
+        args.runs,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     rows = [
         [label,
          "BROKEN" if cells["dfa_identical"].success else "protected",
@@ -181,6 +198,19 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_)
         p.add_argument("--runs", type=int, default=default_runs)
         p.add_argument("--seed", type=int, default=4)
+        if name != "sweep":
+            p.add_argument(
+                "--jobs", type=int, default=None,
+                help="worker processes for the fault campaigns (default: in-process)",
+            )
+            p.add_argument(
+                "--checkpoint-dir", default=None,
+                help="checkpoint campaigns here so they can be resumed",
+            )
+            p.add_argument(
+                "--resume", action="store_true",
+                help="reuse completed shards from --checkpoint-dir",
+            )
         p.set_defaults(fn=fn)
 
     psca = sub.add_parser("sca", help="side-channel λ-leakage assessment")

@@ -19,6 +19,7 @@ against PRESENT-80:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -81,6 +82,9 @@ def _series_single_fault(
     key: int,
     seed: int,
     both_cores: bool,
+    jobs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> SchemeSeries:
     specs = []
     cores = design.cores if both_cores else design.cores[:1]
@@ -92,7 +96,19 @@ def _series_single_fault(
                 last_round(core),
             )
         )
-    result = run_campaign(design, specs, n_runs=n_runs, key=key, seed=seed)
+    if checkpoint_dir is not None:
+        # one campaign per scheme → one sub-directory per scheme
+        checkpoint_dir = Path(checkpoint_dir) / design.scheme
+    result = run_campaign(
+        design,
+        specs,
+        n_runs=n_runs,
+        key=key,
+        seed=seed,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     dist = ineffective_distribution(result, spec, sbox)
     return SchemeSeries(
         scheme=design.scheme,
@@ -121,9 +137,18 @@ def figure4(
     target_sbox: int = 13,
     target_bit: int = 2,
     spec: SpnSpec | None = None,
+    jobs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Figure4Data:
-    """Regenerate Fig. 4 (single-core stuck-at-0, SIFA bias)."""
+    """Regenerate Fig. 4 (single-core stuck-at-0, SIFA bias).
+
+    ``jobs``/``checkpoint_dir``/``resume`` run the underlying campaigns
+    through the resilient sharded executor (one checkpoint sub-directory
+    per scheme); the series are bit-identical either way.
+    """
     spec = spec or PresentSpec()
+    checkpoint_dir = Path(checkpoint_dir) / "fig4" if checkpoint_dir else None
     naive = _series_single_fault(
         build_naive_duplication(spec),
         spec,
@@ -133,6 +158,9 @@ def figure4(
         key=key,
         seed=seed,
         both_cores=False,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     ours = _series_single_fault(
         build_three_in_one(spec),
@@ -143,6 +171,9 @@ def figure4(
         key=key,
         seed=seed,
         both_cores=False,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return Figure4Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours
@@ -157,9 +188,16 @@ def figure5(
     target_sbox: int = 5,
     target_bit: int = 1,
     spec: SpnSpec | None = None,
+    jobs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Figure5Data:
-    """Regenerate Fig. 5 (identical stuck-at-0 in both computations)."""
+    """Regenerate Fig. 5 (identical stuck-at-0 in both computations).
+
+    Executor knobs as in :func:`figure4`.
+    """
     spec = spec or PresentSpec()
+    checkpoint_dir = Path(checkpoint_dir) / "fig5" if checkpoint_dir else None
     naive = _series_single_fault(
         build_naive_duplication(spec),
         spec,
@@ -169,6 +207,9 @@ def figure5(
         key=key,
         seed=seed,
         both_cores=True,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     ours = _series_single_fault(
         build_three_in_one(spec),
@@ -179,6 +220,9 @@ def figure5(
         key=key,
         seed=seed,
         both_cores=True,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return Figure5Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours

@@ -7,6 +7,8 @@ for the asserted, artefact-producing versions.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.attacks import selmke_attack, sifa_attack
 from repro.attacks.fta import fta_key_recovery
 from repro.ciphers.netlist_present import PresentSpec
@@ -30,23 +32,53 @@ FTA_PLAINTEXTS = [
 ]
 
 
-def run_attack_matrix(n_runs: int, *, key: int = DEFAULT_KEY) -> dict[str, dict]:
+def run_attack_matrix(
+    n_runs: int,
+    *,
+    key: int = DEFAULT_KEY,
+    jobs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> dict[str, dict]:
     """DFA/SIFA/FTA key-recovery attempts against all three duplication
-    schemes; returns ``{scheme: {attack: result}}``."""
+    schemes; returns ``{scheme: {attack: result}}``.
+
+    ``jobs``/``checkpoint_dir``/``resume`` route the DFA and SIFA campaigns
+    (the heavy cells) through the resilient sharded executor, one
+    checkpoint sub-directory per matrix cell.
+    """
     spec = PresentSpec()
     schemes = {
         "naive_duplication": build_naive_duplication(spec),
         "acisp20": build_acisp20(spec),
         "three_in_one": build_three_in_one(spec),
     }
+    ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else None
     matrix: dict[str, dict] = {}
     for label, design in schemes.items():
         selmke = selmke_attack(
-            design, target_sbox=5, faulted_bit=1, key=key, n_runs=n_runs, seed=4
+            design,
+            target_sbox=5,
+            faulted_bit=1,
+            key=key,
+            n_runs=n_runs,
+            seed=4,
+            jobs=jobs,
+            checkpoint_dir=ckpt / f"{label}_dfa" if ckpt else None,
+            resume=resume,
         )
         net = sbox_input_net(design.cores[0], 7, 1)
         fault = FaultSpec.at(net, FaultType.STUCK_AT_0, spec.rounds - 2)
-        campaign = run_campaign(design, [fault], n_runs=n_runs, key=key, seed=21)
+        campaign = run_campaign(
+            design,
+            [fault],
+            n_runs=n_runs,
+            key=key,
+            seed=21,
+            jobs=jobs,
+            checkpoint_dir=ckpt / f"{label}_sifa" if ckpt else None,
+            resume=resume,
+        )
         sifa = sifa_attack(campaign, spec, 7, 1)
         fta = fta_key_recovery(
             design, sbox=3, plaintexts=FTA_PLAINTEXTS, key=key, n_rep=32, seed=7

@@ -11,15 +11,23 @@ released), *detected* (comparator fired / output suppressed) or *effective*
 
 from repro.faults.models import FaultSpec, FaultType, last_round
 from repro.faults.injector import FaultInjector
-from repro.faults.campaign import CampaignResult, run_campaign
+from repro.faults.campaign import RNG_BLOCK, CampaignResult, run_campaign
+from repro.faults.checkpoint import CheckpointError, CheckpointStore
 from repro.faults.classification import Outcome
+from repro.faults.executor import ExecutorConfig, ShardTimeout, run_campaign_sharded
 
 __all__ = [
+    "RNG_BLOCK",
     "CampaignResult",
+    "CheckpointError",
+    "CheckpointStore",
+    "ExecutorConfig",
     "FaultInjector",
     "FaultSpec",
     "FaultType",
     "Outcome",
+    "ShardTimeout",
     "last_round",
     "run_campaign",
+    "run_campaign_sharded",
 ]

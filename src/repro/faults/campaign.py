@@ -9,10 +9,24 @@ plaintexts.
 
 Everything is vectorised: 80,000 runs of a ~5,000-gate protected design
 finish in a few seconds.
+
+Determinism contract
+--------------------
+
+Randomness is keyed per fixed-size *RNG block* of :data:`RNG_BLOCK`
+consecutive runs: block ``b`` (runs ``[b * RNG_BLOCK, (b+1) * RNG_BLOCK)``)
+draws everything — plaintexts, garbage words, λ schedules, probabilistic
+injector masks — from the substream ``derive_rng(seed, b)``.  A campaign's
+arrays therefore depend only on ``(design, specs, key, seed, n_runs)``;
+they are bit-identical regardless of ``chunk`` size, worker count, shard
+size, or crash/resume history.  The sharded executor
+(:mod:`repro.faults.executor`) relies on this to merge checkpointed shards
+into exactly the single-shot result.
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -22,9 +36,88 @@ from repro.countermeasures.base import ProtectedDesign
 from repro.faults.classification import Outcome, classify
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSpec
-from repro.rng import make_rng, random_bits
+from repro.rng import BlockedRng, derive_rng, random_bits
+from repro.utils.bits import bits_to_ints
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["RNG_BLOCK", "CampaignResult", "run_campaign"]
+
+#: Runs per RNG substream — the granularity of the determinism contract.
+#: Chunk and shard boundaries are aligned to multiples of this.
+RNG_BLOCK = 1024
+
+
+def range_rng(seed: int, lo: int, hi: int) -> BlockedRng:
+    """The composite generator covering runs ``[lo, hi)``.
+
+    ``lo`` must sit on an RNG-block boundary; the final block may be
+    partial (when ``hi`` is the campaign's ``n_runs``).
+    """
+    if lo % RNG_BLOCK:
+        raise ValueError(f"range start {lo} is not a multiple of {RNG_BLOCK}")
+    if not lo < hi:
+        raise ValueError(f"empty run range [{lo}, {hi})")
+    parts = []
+    start = lo
+    while start < hi:
+        size = min(RNG_BLOCK, hi - start)
+        parts.append((size, derive_rng(seed, start // RNG_BLOCK)))
+        start += size
+    return BlockedRng(parts)
+
+
+def run_range(
+    design: ProtectedDesign,
+    specs: Sequence[FaultSpec],
+    *,
+    key: int,
+    seed: int,
+    lo: int,
+    hi: int,
+    chunk: int = 1 << 15,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Simulate runs ``[lo, hi)`` of the campaign keyed by ``seed``.
+
+    Returns ``(plaintext_bits, released_bits, expected_bits, fault_flags)``
+    for exactly those runs.  This is the shared kernel of the single-shot
+    path and every executor shard; per-block RNG keying makes the output
+    independent of how the range is batched (``chunk`` is rounded down to a
+    whole number of RNG blocks and only bounds simulator memory).
+    """
+    block = design.spec.block_bits
+    chunk = max(RNG_BLOCK, chunk - chunk % RNG_BLOCK)
+
+    pt_parts: list[np.ndarray] = []
+    rel_parts: list[np.ndarray] = []
+    exp_parts: list[np.ndarray] = []
+    flag_parts: list[np.ndarray] = []
+
+    start = lo
+    while start < hi:
+        stop = min(start + chunk, hi)
+        batch = stop - start
+        rng = range_rng(seed, start, stop)
+        pts_bits = random_bits(rng, batch, block)
+        pts = bits_to_ints(pts_bits)
+
+        clean_sim = design.simulator(batch)
+        clean = design.run(clean_sim, pts, key, rng=rng)
+
+        injector = FaultInjector(specs, batch, rng=rng)
+        fault_sim = design.simulator(batch, faults=injector)
+        faulted = design.run(fault_sim, pts, key, rng=rng)
+
+        pt_parts.append(pts_bits)
+        rel_parts.append(faulted["ciphertext"])
+        exp_parts.append(clean["ciphertext"])
+        flag_parts.append(faulted["fault"])
+        start = stop
+
+    return (
+        np.concatenate(pt_parts),
+        np.concatenate(rel_parts),
+        np.concatenate(exp_parts),
+        np.concatenate(flag_parts),
+    )
 
 
 @dataclass
@@ -44,6 +137,11 @@ class CampaignResult:
     @property
     def n_runs(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def partial(self) -> bool:
+        """True when some executor shards failed and were dropped."""
+        return bool(self.extra.get("partial"))
 
     def count(self, outcome: Outcome) -> int:
         """Number of runs with the given classification."""
@@ -66,17 +164,14 @@ class CampaignResult:
         bits = self.released_bits
         if indices is not None:
             bits = bits[indices]
-        weights = 1 << np.arange(bits.shape[1], dtype=object)
-        return [int(sum(int(b) * int(w) for b, w in zip(row, weights))) for row in bits]
+        return bits_to_ints(bits)
 
     def plaintext_ints(self, indices: np.ndarray | None = None) -> list[int]:
         """Plaintexts as integers."""
         bits = self.plaintext_bits
         if indices is not None:
             bits = bits[indices]
-        return [
-            int(sum(int(b) << i for i, b in enumerate(row))) for row in bits
-        ]
+        return bits_to_ints(bits)
 
     def nibble(self, bits: np.ndarray, index: int, width: int = 4) -> np.ndarray:
         """Extract a ``width``-bit slice value from a bit matrix, per run."""
@@ -90,14 +185,16 @@ class CampaignResult:
         """Persist the campaign to a compressed ``.npz`` archive.
 
         Large campaigns take a while to run; saving lets attack analyses be
-        re-run offline (fault specs are stored as text metadata and are not
-        reconstructed on load).
+        re-run offline.  Fault specs are stored as JSON documents
+        (:meth:`FaultSpec.to_dict`) and reconstructed on load.
         """
         np.savez_compressed(
             path,
             scheme=np.array(self.scheme),
             key=np.array(str(self.key)),
-            specs=np.array([repr(s) for s in self.specs]),
+            specs=np.array(
+                [json.dumps(s.to_dict(), sort_keys=True) for s in self.specs]
+            ),
             plaintext_bits=self.plaintext_bits,
             released_bits=self.released_bits,
             expected_bits=self.expected_bits,
@@ -107,18 +204,31 @@ class CampaignResult:
 
     @classmethod
     def load(cls, path) -> "CampaignResult":
-        """Load a campaign persisted by :meth:`save`."""
+        """Load a campaign persisted by :meth:`save`.
+
+        Specs round-trip into real :class:`FaultSpec` objects.  Archives
+        written by older versions stored ``repr`` strings instead; those
+        are kept verbatim under ``extra["loaded_specs"]``.
+        """
         data = np.load(path, allow_pickle=False)
+        specs: list[FaultSpec] = []
+        legacy: list[str] = []
+        for text in data["specs"].tolist():
+            try:
+                specs.append(FaultSpec.from_dict(json.loads(str(text))))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                legacy.append(str(text))
+        extra: dict = {"loaded_specs": legacy} if legacy else {}
         return cls(
             scheme=str(data["scheme"]),
             key=int(str(data["key"])),
-            specs=[],
+            specs=specs,
             plaintext_bits=data["plaintext_bits"],
             released_bits=data["released_bits"],
             expected_bits=data["expected_bits"],
             fault_flags=data["fault_flags"],
             outcomes=data["outcomes"],
-            extra={"loaded_specs": [str(s) for s in data["specs"]]},
+            extra=extra,
         )
 
 
@@ -131,6 +241,13 @@ def run_campaign(
     seed: int = 1,
     chunk: int = 1 << 15,
     flag_observable: bool | None = None,
+    jobs: int | None = None,
+    shard_runs: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
 ) -> CampaignResult:
     """Execute a fault campaign against ``design``.
 
@@ -139,58 +256,71 @@ def run_campaign(
     same shapes faster.  ``flag_observable`` defaults by scheme: internal
     (non-observable) for error-correcting triplication, observable for the
     detect-and-suppress schemes.
+
+    **Determinism contract:** the result arrays depend only on
+    ``(design, specs, key, seed, n_runs)``.  All randomness is drawn from
+    per-block substreams keyed by ``(seed, run_index // RNG_BLOCK)``, so
+    ``chunk``, ``jobs``, ``shard_runs`` and crash/resume history affect
+    only memory and wall-clock, never the bits.
+
+    When any of ``jobs > 1``, ``shard_runs``, ``checkpoint_dir`` or
+    ``resume`` is given the campaign is delegated to the resilient sharded
+    executor (:func:`repro.faults.executor.run_campaign_sharded`): the run
+    is split into checkpointable shards executed by a supervised worker
+    pool with per-shard ``timeout``/``retries``/``backoff``, and a
+    checkpointed campaign can be resumed mid-flight with ``resume=True``.
+    Shards that exhaust their retries are dropped and the result is marked
+    ``partial`` (see ``CampaignResult.partial``).
     """
     from repro.countermeasures.base import RecoveryPolicy
 
     if flag_observable is None:
         flag_observable = design.scheme != "triplication"
     infective = design.policy is RecoveryPolicy.INFECTIVE
-    rng = make_rng(seed)
+
+    if jobs not in (None, 0, 1) or shard_runs or checkpoint_dir or resume:
+        from repro.faults.executor import ExecutorConfig, run_campaign_sharded
+
+        config = ExecutorConfig(
+            jobs=jobs or 1,
+            shard_runs=shard_runs or ExecutorConfig.shard_runs,
+            chunk=chunk,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+        )
+        return run_campaign_sharded(
+            design,
+            specs,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            flag_observable=flag_observable,
+            config=config,
+        )
+
     block = design.spec.block_bits
-
-    pt_parts: list[np.ndarray] = []
-    rel_parts: list[np.ndarray] = []
-    exp_parts: list[np.ndarray] = []
-    flag_parts: list[np.ndarray] = []
-
-    remaining = n_runs
-    while remaining > 0:
-        batch = min(remaining, chunk)
-        remaining -= batch
-        pts_bits = random_bits(rng, batch, block)
-        pts = [int(sum(int(b) << i for i, b in enumerate(row))) for row in pts_bits]
-
-        clean_sim = design.simulator(batch)
-        clean = design.run(clean_sim, pts, key, rng=rng)
-
-        injector = FaultInjector(specs, batch, rng=rng)
-        fault_sim = design.simulator(batch, faults=injector)
-        faulted = design.run(fault_sim, pts, key, rng=rng)
-
-        pt_parts.append(pts_bits)
-        rel_parts.append(faulted["ciphertext"])
-        exp_parts.append(clean["ciphertext"])
-        flag_parts.append(faulted["fault"])
-
-    plaintext_bits = np.concatenate(pt_parts)
-    released_bits = np.concatenate(rel_parts)
-    expected_bits = np.concatenate(exp_parts)
-    fault_flags = np.concatenate(flag_parts)
+    if n_runs <= 0:
+        empty_word = np.zeros((0, block), dtype=np.uint8)
+        empty_flag = np.zeros(0, dtype=np.uint8)
+        pt, rel, exp, flags = empty_word, empty_word, empty_word, empty_flag
+    else:
+        pt, rel, exp, flags = run_range(
+            design, specs, key=key, seed=seed, lo=0, hi=n_runs, chunk=chunk
+        )
     outcomes = classify(
-        released_bits,
-        fault_flags,
-        expected_bits,
-        flag_observable=flag_observable,
-        infective=infective,
+        rel, flags, exp, flag_observable=flag_observable, infective=infective
     )
     return CampaignResult(
         scheme=design.scheme,
         key=key,
         specs=list(specs),
-        plaintext_bits=plaintext_bits,
-        released_bits=released_bits,
-        expected_bits=expected_bits,
-        fault_flags=fault_flags,
+        plaintext_bits=pt,
+        released_bits=rel,
+        expected_bits=exp,
+        fault_flags=flags,
         outcomes=outcomes,
         extra={"variant": design.variant, "n_runs": n_runs},
     )

@@ -1,0 +1,195 @@
+"""On-disk checkpointing for sharded fault campaigns.
+
+Layout of a checkpoint directory::
+
+    manifest.json       campaign identity + per-shard status ledger
+    shard_00000.npz     raw arrays of shard 0 (plaintext/released/expected/flags)
+    shard_00001.npz     ...
+
+The manifest is the source of truth for resume: it pins the campaign
+identity (scheme, key, seed, n_runs, shard size, serialised fault specs)
+and records, per shard, its run range, status (``pending`` / ``done`` /
+``failed``), attempt count, SHA-256 digest of the shard arrays, and the
+last error message.  Manifest writes are atomic (tempfile + ``os.replace``)
+so a crash mid-update never leaves a half-written ledger; a shard ``.npz``
+that is missing or fails its digest check is simply recomputed.
+
+A manifest that cannot be parsed, or that describes a *different* campaign
+than the one being resumed, raises :class:`CheckpointError` — silently
+mixing shards from two campaigns would corrupt results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CheckpointError", "CheckpointStore", "ShardRecord"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Array keys persisted per shard, in digest order.
+SHARD_KEYS = ("plaintext_bits", "released_bits", "expected_bits", "fault_flags")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is unreadable or belongs to another campaign."""
+
+
+@dataclass
+class ShardRecord:
+    """One shard's entry in the manifest ledger."""
+
+    index: int
+    lo: int
+    hi: int
+    status: str = "pending"  # pending | done | failed
+    attempts: int = 0
+    digest: str = ""
+    error: str = ""
+
+    @property
+    def n_runs(self) -> int:
+        return self.hi - self.lo
+
+
+def shard_digest(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the shard's arrays in canonical key order."""
+    h = hashlib.sha256()
+    for key in SHARD_KEYS:
+        a = np.ascontiguousarray(arrays[key])
+        h.update(key.encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class CheckpointStore:
+    """Reads and writes one campaign's checkpoint directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / MANIFEST_NAME
+        self.config: dict = {}
+        self.shards: dict[int, ShardRecord] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    def create(self, config: dict, ranges: list[tuple[int, int]]) -> None:
+        """Start a fresh ledger for ``config`` with one record per range."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = dict(config)
+        self.shards = {
+            i: ShardRecord(index=i, lo=lo, hi=hi)
+            for i, (lo, hi) in enumerate(ranges)
+        }
+        self.flush()
+
+    def load(self, expected_config: dict | None = None) -> None:
+        """Load an existing ledger, validating identity against a campaign.
+
+        Raises :class:`CheckpointError` on unparseable manifests or when
+        ``expected_config`` does not match the stored campaign identity.
+        """
+        try:
+            raw = json.loads(self.manifest_path.read_text())
+            if raw.get("version") != MANIFEST_VERSION:
+                raise CheckpointError(
+                    f"unsupported manifest version {raw.get('version')!r} "
+                    f"in {self.manifest_path}"
+                )
+            self.config = raw["campaign"]
+            self.shards = {
+                int(k): ShardRecord(**v) for k, v in raw["shards"].items()
+            }
+        except CheckpointError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+        if expected_config is not None and self.config != expected_config:
+            diff = {
+                k: (self.config.get(k), expected_config.get(k))
+                for k in set(self.config) | set(expected_config)
+                if self.config.get(k) != expected_config.get(k)
+            }
+            raise CheckpointError(
+                f"checkpoint at {self.directory} belongs to a different "
+                f"campaign (mismatched fields: {diff})"
+            )
+
+    def flush(self) -> None:
+        """Atomically persist the ledger."""
+        payload = {
+            "version": MANIFEST_VERSION,
+            "campaign": self.config,
+            "shards": {str(i): asdict(r) for i, r in sorted(self.shards.items())},
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".manifest.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ----------------------------------------------------------- shard data
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / f"shard_{index:05d}.npz"
+
+    def write_shard(self, index: int, arrays: dict[str, np.ndarray]) -> None:
+        """Persist a completed shard and mark it ``done`` in the ledger."""
+        record = self.shards[index]
+        np.savez_compressed(self.shard_path(index), **{k: arrays[k] for k in SHARD_KEYS})
+        record.status = "done"
+        record.digest = shard_digest(arrays)
+        record.error = ""
+        self.flush()
+
+    def read_shard(self, index: int) -> dict[str, np.ndarray] | None:
+        """Load a ``done`` shard's arrays, or None when they need recomputing.
+
+        Missing files, unreadable archives and digest mismatches all return
+        None (the executor recomputes the shard deterministically) rather
+        than failing the resume.
+        """
+        record = self.shards[index]
+        if record.status != "done":
+            return None
+        try:
+            with np.load(self.shard_path(index), allow_pickle=False) as data:
+                arrays = {k: data[k] for k in SHARD_KEYS}
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+        if record.digest and shard_digest(arrays) != record.digest:
+            return None
+        if len(arrays["plaintext_bits"]) != record.n_runs:
+            return None
+        return arrays
+
+    def mark_failed(self, index: int, error: str, attempts: int) -> None:
+        record = self.shards[index]
+        record.status = "failed"
+        record.error = error
+        record.attempts = attempts
+        self.flush()

@@ -1,0 +1,463 @@
+"""Resilient sharded execution of fault campaigns.
+
+:func:`repro.faults.campaign.run_campaign` is a fine single-shot loop, but
+the paper-scale campaigns (80,000 runs × several designs × several specs)
+are exactly the workloads that die to an OOM kill, a ^C, or a flaky node —
+losing everything.  This module decomposes a campaign into deterministic
+*shards* (contiguous, RNG-block-aligned run ranges) and executes them
+through a supervised worker pool:
+
+- **Determinism** — every shard draws its randomness from per-block
+  substreams keyed by ``(campaign_seed, block_index)`` (see
+  :func:`repro.faults.campaign.run_range`), so the merged result is
+  bit-identical to a single-shot run regardless of shard size, worker
+  count, or how many times the campaign was interrupted and resumed.
+- **Checkpointing** — with a ``checkpoint_dir``, each finished shard is
+  persisted as an ``.npz`` plus a JSON manifest entry
+  (:mod:`repro.faults.checkpoint`); ``resume=True`` skips shards whose
+  checkpoint verifies against its digest and recomputes the rest.
+- **Supervision** — shards get a wall-clock ``timeout`` (enforced with
+  ``SIGALRM`` inside the worker), transient failures are retried with
+  exponential backoff, and a broken process pool is rebuilt and the lost
+  shards resubmitted.
+- **Graceful degradation** — a shard that exhausts its retries is recorded
+  as ``failed`` in the manifest and *dropped*: the campaign completes with
+  the surviving shards and ``result.partial`` set, instead of dying at
+  99%.
+
+The process pool uses ``concurrent.futures.ProcessPoolExecutor``; designs
+that cannot be pickled (or ``jobs=1``) fall back to in-process serial
+execution with the same checkpoint/retry semantics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pickle
+import signal
+import threading
+import time
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.countermeasures.base import ProtectedDesign
+from repro.faults.campaign import RNG_BLOCK, CampaignResult, run_range
+from repro.faults.checkpoint import SHARD_KEYS, CheckpointStore
+from repro.faults.classification import classify
+from repro.faults.models import FaultSpec
+
+__all__ = [
+    "ExecutorConfig",
+    "ShardTimeout",
+    "campaign_identity",
+    "run_campaign_sharded",
+]
+
+#: Test/instrumentation hook: called as ``hook(shard_index, attempt)``
+#: inside the shard's timeout guard, before simulation starts.
+ShardHook = Callable[[int, int], None]
+
+
+class ShardTimeout(RuntimeError):
+    """A shard exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of the sharded executor (see module docstring)."""
+
+    #: worker processes; 1 = in-process serial execution
+    jobs: int = 1
+    #: runs per shard (rounded down to a multiple of ``RNG_BLOCK``)
+    shard_runs: int = 8192
+    #: simulator batch bound inside a shard (memory knob, never affects bits)
+    chunk: int = 1 << 15
+    #: directory for the manifest + shard archives; None disables checkpoints
+    checkpoint_dir: object = None
+    #: reuse verified shards from an existing checkpoint
+    resume: bool = False
+    #: per-shard wall-clock budget in seconds; None = unbounded
+    timeout: float | None = None
+    #: how many times a failing shard is re-attempted
+    retries: int = 2
+    #: base of the exponential backoff between attempts (seconds)
+    backoff: float = 0.5
+
+
+@contextlib.contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`ShardTimeout` if the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, which works in the main thread of both
+    the supervisor process (serial path) and pool worker processes (tasks
+    run in the worker's main thread).  Elsewhere — or without a timeout —
+    the body runs unguarded.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise ShardTimeout(f"shard exceeded its {seconds}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def campaign_identity(
+    design: ProtectedDesign,
+    specs: Sequence[FaultSpec],
+    *,
+    key: int,
+    seed: int,
+    n_runs: int,
+    shard_runs: int,
+) -> dict:
+    """The manifest fields that pin a checkpoint to one exact campaign."""
+    return {
+        "scheme": design.scheme,
+        "variant": design.variant,
+        "block_bits": design.spec.block_bits,
+        "key": str(key),
+        "seed": seed,
+        "n_runs": n_runs,
+        "shard_runs": shard_runs,
+        "specs": [s.to_dict() for s in specs],
+    }
+
+
+def _shard_arrays(
+    design: ProtectedDesign,
+    specs: Sequence[FaultSpec],
+    key: int,
+    seed: int,
+    lo: int,
+    hi: int,
+    chunk: int,
+) -> dict[str, np.ndarray]:
+    pt, rel, exp, flags = run_range(
+        design, specs, key=key, seed=seed, lo=lo, hi=hi, chunk=chunk
+    )
+    return {
+        "plaintext_bits": pt,
+        "released_bits": rel,
+        "expected_bits": exp,
+        "fault_flags": flags,
+    }
+
+
+# ----------------------------------------------------------- pool workers
+
+_WORKER_CTX: dict = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    _WORKER_CTX["ctx"] = pickle.loads(payload)
+
+
+def _worker_shard(index: int, lo: int, hi: int, attempt: int):
+    design, specs, key, seed, chunk, timeout, hook = _WORKER_CTX["ctx"]
+    with _deadline(timeout):
+        if hook is not None:
+            hook(index, attempt)
+        return index, _shard_arrays(design, specs, key, seed, lo, hi, chunk)
+
+
+# ------------------------------------------------------------- supervisor
+
+
+class _Supervisor:
+    """Drives shard execution: retries, backoff, checkpoint writes."""
+
+    def __init__(
+        self,
+        design: ProtectedDesign,
+        specs: Sequence[FaultSpec],
+        *,
+        key: int,
+        seed: int,
+        ranges: list[tuple[int, int]],
+        config: ExecutorConfig,
+        store: CheckpointStore | None,
+        shard_hook: ShardHook | None,
+    ) -> None:
+        self.design = design
+        self.specs = list(specs)
+        self.key = key
+        self.seed = seed
+        self.ranges = ranges
+        self.config = config
+        self.store = store
+        self.shard_hook = shard_hook
+        self.results: dict[int, dict[str, np.ndarray]] = {}
+        self.failures: dict[int, dict] = {}
+        self.attempts: dict[int, int] = {}
+
+    # -- shared bookkeeping
+
+    def _succeed(self, index: int, arrays: dict[str, np.ndarray]) -> None:
+        self.results[index] = arrays
+        if self.store is not None:
+            self.store.shards[index].attempts = self.attempts[index]
+            self.store.write_shard(index, arrays)
+
+    def _fail(self, index: int, exc: BaseException) -> None:
+        lo, hi = self.ranges[index]
+        message = f"{type(exc).__name__}: {exc}"
+        self.failures[index] = {
+            "index": index,
+            "lo": lo,
+            "hi": hi,
+            "attempts": self.attempts[index],
+            "error": message,
+        }
+        if self.store is not None:
+            self.store.mark_failed(index, message, self.attempts[index])
+
+    def _should_retry(self, index: int, exc: BaseException) -> bool:
+        """Record the attempt; True → back off and try again."""
+        if self.attempts[index] > self.config.retries:
+            self._fail(index, exc)
+            return False
+        time.sleep(self.config.backoff * (2 ** (self.attempts[index] - 1)))
+        return True
+
+    # -- serial path
+
+    def run_serial(self, pending: list[int]) -> None:
+        for index in pending:
+            lo, hi = self.ranges[index]
+            self.attempts[index] = 0
+            while True:
+                self.attempts[index] += 1
+                try:
+                    with _deadline(self.config.timeout):
+                        if self.shard_hook is not None:
+                            self.shard_hook(index, self.attempts[index])
+                        arrays = _shard_arrays(
+                            self.design, self.specs, self.key, self.seed,
+                            lo, hi, self.config.chunk,
+                        )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    if self._should_retry(index, exc):
+                        continue
+                    break
+                else:
+                    self._succeed(index, arrays)
+                    break
+
+    # -- pool path
+
+    def run_pool(self, pending: list[int]) -> None:
+        cfg = self.config
+        try:
+            payload = pickle.dumps(
+                (self.design, self.specs, self.key, self.seed,
+                 cfg.chunk, cfg.timeout, self.shard_hook)
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"campaign executor: design/specs not picklable ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.run_serial(pending)
+            return
+
+        queue = list(pending)
+        for index in queue:
+            self.attempts[index] = 0
+        in_flight: dict = {}
+        pool: ProcessPoolExecutor | None = None
+        try:
+            while queue or in_flight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=cfg.jobs,
+                        initializer=_worker_init,
+                        initargs=(payload,),
+                    )
+                while queue:
+                    index = queue.pop(0)
+                    self.attempts[index] += 1
+                    lo, hi = self.ranges[index]
+                    fut = pool.submit(
+                        _worker_shard, index, lo, hi, self.attempts[index]
+                    )
+                    in_flight[fut] = index
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for fut in done:
+                    index = in_flight.pop(fut)
+                    try:
+                        _, arrays = fut.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        if self._should_retry(index, exc):
+                            queue.append(index)
+                    except Exception as exc:
+                        if self._should_retry(index, exc):
+                            queue.append(index)
+                    else:
+                        self._succeed(index, arrays)
+                if pool_broken:
+                    # The pool is unusable: every in-flight shard was lost
+                    # with it.  Re-queue (or fail) them and start a new pool.
+                    for fut, index in list(in_flight.items()):
+                        exc = BrokenProcessPool("worker pool died mid-shard")
+                        if self._should_retry(index, exc):
+                            queue.append(index)
+                    in_flight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_campaign_sharded(
+    design: ProtectedDesign,
+    specs: Sequence[FaultSpec],
+    *,
+    n_runs: int,
+    key: int,
+    seed: int = 1,
+    flag_observable: bool | None = None,
+    config: ExecutorConfig | None = None,
+    shard_hook: ShardHook | None = None,
+) -> CampaignResult:
+    """Run a campaign through the resilient sharded executor.
+
+    Equivalent to :func:`repro.faults.campaign.run_campaign` (bit-identical
+    arrays for the same ``(design, specs, key, seed, n_runs)``) but
+    checkpointed, resumable and parallel; see the module docstring.
+    ``shard_hook`` is an instrumentation point used by the tests to inject
+    shard failures/delays; it must be picklable when ``jobs > 1``.
+    """
+    from repro.countermeasures.base import RecoveryPolicy
+
+    config = config or ExecutorConfig()
+    if flag_observable is None:
+        flag_observable = design.scheme != "triplication"
+    infective = design.policy is RecoveryPolicy.INFECTIVE
+    block = design.spec.block_bits
+
+    shard_runs = max(
+        RNG_BLOCK, config.shard_runs - config.shard_runs % RNG_BLOCK
+    )
+    ranges = [
+        (lo, min(lo + shard_runs, n_runs)) for lo in range(0, n_runs, shard_runs)
+    ]
+
+    store: CheckpointStore | None = None
+    supervisor = _Supervisor(
+        design,
+        specs,
+        key=key,
+        seed=seed,
+        ranges=ranges,
+        config=config,
+        store=None,
+        shard_hook=shard_hook,
+    )
+    if config.checkpoint_dir is not None and ranges:
+        store = CheckpointStore(config.checkpoint_dir)
+        identity = campaign_identity(
+            design, specs, key=key, seed=seed, n_runs=n_runs, shard_runs=shard_runs
+        )
+        if config.resume and store.exists:
+            store.load(identity)
+            for index, record in store.shards.items():
+                arrays = store.read_shard(index)
+                if arrays is not None:
+                    supervisor.results[index] = arrays
+                    supervisor.attempts[index] = record.attempts
+                else:
+                    # missing/corrupt archive or a previously failed shard:
+                    # recompute it (deterministically) this time around
+                    record.status = "pending"
+                    record.error = ""
+            store.flush()
+        else:
+            store.create(identity, ranges)
+        supervisor.store = store
+
+    pending = [i for i in range(len(ranges)) if i not in supervisor.results]
+    if config.jobs > 1 and len(pending) > 1:
+        supervisor.run_pool(pending)
+    else:
+        supervisor.run_serial(pending)
+
+    survivors = sorted(supervisor.results)
+    failures = [supervisor.failures[i] for i in sorted(supervisor.failures)]
+    if failures:
+        lost = sum(f["hi"] - f["lo"] for f in failures)
+        warnings.warn(
+            f"campaign completed partially: {len(failures)} of {len(ranges)} "
+            f"shards failed ({lost} of {n_runs} runs lost); see "
+            "result.extra['failed_shards']",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if survivors:
+        merged = {
+            k: np.concatenate([supervisor.results[i][k] for i in survivors])
+            for k in SHARD_KEYS
+        }
+    else:
+        merged = {
+            "plaintext_bits": np.zeros((0, block), dtype=np.uint8),
+            "released_bits": np.zeros((0, block), dtype=np.uint8),
+            "expected_bits": np.zeros((0, block), dtype=np.uint8),
+            "fault_flags": np.zeros(0, dtype=np.uint8),
+        }
+    outcomes = classify(
+        merged["released_bits"],
+        merged["fault_flags"],
+        merged["expected_bits"],
+        flag_observable=flag_observable,
+        infective=infective,
+    )
+    return CampaignResult(
+        scheme=design.scheme,
+        key=key,
+        specs=list(specs),
+        plaintext_bits=merged["plaintext_bits"],
+        released_bits=merged["released_bits"],
+        expected_bits=merged["expected_bits"],
+        fault_flags=merged["fault_flags"],
+        outcomes=outcomes,
+        extra={
+            "variant": design.variant,
+            "n_runs": n_runs,
+            "jobs": config.jobs,
+            "shard_runs": shard_runs,
+            "n_shards": len(ranges),
+            "partial": bool(failures),
+            "failed_shards": failures,
+            "checkpoint_dir": (
+                str(config.checkpoint_dir)
+                if config.checkpoint_dir is not None
+                else None
+            ),
+        },
+    )

@@ -39,6 +39,18 @@ class FaultType(enum.Enum):
         """True when ineffectiveness depends on the data (SIFA-exploitable)."""
         return self is not FaultType.BIT_FLIP
 
+    def to_dict(self) -> str:
+        """JSON-safe form (the enum's stable string value)."""
+        return self.value
+
+    @classmethod
+    def from_dict(cls, data: str) -> "FaultType":
+        """Inverse of :meth:`to_dict`; accepts the value or the member name."""
+        try:
+            return cls(data)
+        except ValueError:
+            return cls[str(data).upper()]
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -57,6 +69,32 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability must be in [0,1]: {self.probability}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; round-trips exactly through :meth:`from_dict`.
+
+        Used by campaign persistence and the executor's checkpoint
+        manifests, so loaded campaigns carry *real* specs, not reprs.
+        """
+        return {
+            "net": self.net,
+            "fault_type": self.fault_type.to_dict(),
+            "cycles": sorted(self.cycles) if self.cycles is not None else None,
+            "probability": self.probability,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Reconstruct a spec serialised by :meth:`to_dict`."""
+        cycles = data.get("cycles")
+        return cls(
+            net=int(data["net"]),
+            fault_type=FaultType.from_dict(data["fault_type"]),
+            cycles=None if cycles is None else frozenset(int(c) for c in cycles),
+            probability=float(data.get("probability", 1.0)),
+            label=str(data.get("label", "")),
+        )
 
     @staticmethod
     def at(

@@ -9,13 +9,32 @@ substitution table).
 
 All randomness in the code base flows through :func:`make_rng` so that a
 single seed pins down an entire fault campaign.
+
+Campaign-scale experiments additionally need randomness that is *stable
+under re-batching*: the same run must see the same draws whether the
+campaign executes in one process, in shards across a worker pool, or is
+resumed after a crash.  :func:`derive_rng` keys an independent substream
+off ``(seed, index)`` via ``numpy.random.SeedSequence`` spawn keys, and
+:class:`BlockedRng` stitches several substreams into one generator-shaped
+object whose batched draws split along the first axis — so a batch
+covering blocks ``[3, 4, 5]`` draws exactly what three separate
+single-block batches would.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "make_rng", "random_bits", "random_ints"]
+__all__ = [
+    "DEFAULT_SEED",
+    "BlockedRng",
+    "derive_rng",
+    "make_rng",
+    "random_bits",
+    "random_ints",
+]
 
 DEFAULT_SEED = 0x5C04E  # "SCONE", hex-safe spelling
 
@@ -23,12 +42,66 @@ DEFAULT_SEED = 0x5C04E  # "SCONE", hex-safe spelling
 def make_rng(seed: int | np.random.Generator | None = DEFAULT_SEED) -> np.random.Generator:
     """Create (or pass through) a numpy Generator.
 
-    Accepts an existing generator so helpers can be composed without
-    re-seeding mid-experiment.
+    Accepts an existing generator (or :class:`BlockedRng`) so helpers can
+    be composed without re-seeding mid-experiment.
     """
-    if isinstance(seed, np.random.Generator):
+    if isinstance(seed, (np.random.Generator, BlockedRng)):
         return seed
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def derive_rng(seed: int, index: int) -> np.random.Generator:
+    """Independent substream ``index`` of master seed ``seed``.
+
+    Uses ``SeedSequence`` spawn-key derivation, so distinct indices yield
+    statistically independent streams and the mapping is stable across
+    numpy versions, processes and machines.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(index,)))
+
+
+class BlockedRng:
+    """A generator over consecutive *blocks*, each with its own substream.
+
+    Constructed from ``(n_lanes, Generator)`` pairs.  Every batched draw
+    must have the total lane count as its leading dimension; the draw is
+    split along that axis, each slice coming from its block's generator.
+    The per-lane values therefore depend only on the block's substream and
+    the order of draw calls — not on which blocks happen to share a batch.
+    """
+
+    def __init__(self, parts: Iterable[tuple[int, np.random.Generator]]) -> None:
+        self._parts = [(int(n), gen) for n, gen in parts]
+        if not self._parts or any(n <= 0 for n, _ in self._parts):
+            raise ValueError("BlockedRng needs at least one positive-sized block")
+        self.total = sum(n for n, _ in self._parts)
+
+    def _sizes(self, size) -> list[int | tuple[int, ...]]:
+        """Per-block ``size`` arguments for a draw of shape ``size``."""
+        if isinstance(size, tuple):
+            lead, rest = size[0], size[1:]
+        else:
+            lead, rest = size, ()
+        if lead != self.total:
+            raise ValueError(
+                f"draw of leading dimension {lead} on a BlockedRng of "
+                f"{self.total} lanes — batched draws must cover every lane"
+            )
+        return [(n, *rest) if rest else n for n, _ in self._parts]
+
+    def integers(self, low, high=None, size=None, **kwargs) -> np.ndarray:
+        parts = [
+            gen.integers(low, high, size=s, **kwargs)
+            for s, (_, gen) in zip(self._sizes(size), self._parts)
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+
+    def random(self, size=None, **kwargs) -> np.ndarray:
+        parts = [
+            gen.random(size=s, **kwargs)
+            for s, (_, gen) in zip(self._sizes(size), self._parts)
+        ]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
 
 
 def random_bits(rng: np.random.Generator, batch: int, width: int) -> np.ndarray:
@@ -38,11 +111,6 @@ def random_bits(rng: np.random.Generator, batch: int, width: int) -> np.ndarray:
 
 def random_ints(rng: np.random.Generator, batch: int, width: int) -> list[int]:
     """``batch`` uniform ``width``-bit integers (arbitrary precision)."""
-    bits = random_bits(rng, batch, width)
-    out = []
-    for row in range(batch):
-        value = 0
-        for i in range(width):
-            value |= int(bits[row, i]) << i
-        out.append(value)
-    return out
+    from repro.utils.bits import bits_to_ints
+
+    return bits_to_ints(random_bits(rng, batch, width))

@@ -65,16 +65,21 @@ def ints_to_bits(values, width: int) -> np.ndarray:
     """Convert an iterable of integers to a ``(batch, width)`` bit matrix.
 
     Values wider than ``width`` raise; the conversion is LSB-first so
-    ``out[r, i]`` is bit ``i`` of ``values[r]``.
+    ``out[r, i]`` is bit ``i`` of ``values[r]``.  Vectorised: each value is
+    serialised to little-endian bytes once and the bit expansion happens in
+    a single ``np.unpackbits`` call.
     """
     values = list(values)
-    out = np.zeros((len(values), width), dtype=np.uint8)
-    for row, value in enumerate(values):
+    n_bytes = (width + 7) // 8
+    chunks = []
+    for value in values:
         if value < 0 or value >> width:
             raise ValueError(f"value {value:#x} does not fit in {width} bits")
-        for i in range(width):
-            out[row, i] = (value >> i) & 1
-    return out
+        chunks.append(value.to_bytes(n_bytes, "little"))
+    if not values:
+        return np.zeros((0, width), dtype=np.uint8)
+    buf = np.frombuffer(b"".join(chunks), dtype=np.uint8).reshape(len(values), n_bytes)
+    return np.unpackbits(buf, axis=1, bitorder="little")[:, :width].copy()
 
 
 def bits_to_ints(bits: np.ndarray) -> list[int]:
@@ -82,14 +87,14 @@ def bits_to_ints(bits: np.ndarray) -> list[int]:
     bits = np.asarray(bits)
     if bits.ndim != 2:
         raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
-    batch, width = bits.shape
-    out = []
-    for row in range(batch):
-        value = 0
-        for i in range(width):
-            value |= int(bits[row, i]) << i
-        out.append(value)
-    return out
+    if bits.shape[0] == 0:
+        return []
+    # One packbits call collapses the (batch, width) matrix to little-endian
+    # bytes; each row then converts in a single C-level int.from_bytes.
+    packed = np.packbits(
+        bits.astype(np.uint8, copy=False), axis=1, bitorder="little"
+    )
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:

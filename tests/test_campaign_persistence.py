@@ -1,11 +1,38 @@
 """Campaign save/load round-trips, and re-running attacks offline."""
 
 import numpy as np
+import pytest
 
 from repro.attacks import sifa_attack
 from repro.faults import CampaignResult, FaultSpec, FaultType, run_campaign
 from repro.faults.models import sbox_input_net
 from tests.conftest import TEST_KEY80
+
+
+class TestSpecSerialization:
+    SPECS = [
+        FaultSpec(3, FaultType.STUCK_AT_0),
+        FaultSpec.at(17, FaultType.BIT_FLIP, 5),
+        FaultSpec.at(99, FaultType.SET_FLIP, [2, 7, 30], probability=0.25,
+                     label="laser/b"),
+        FaultSpec(0, FaultType.RESET_FLIP, cycles=None, probability=0.0),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_roundtrip_identity(self, spec):
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        for spec in self.SPECS:
+            clone = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert clone == spec
+
+    def test_fault_type_roundtrip(self):
+        for ft in FaultType:
+            assert FaultType.from_dict(ft.to_dict()) is ft
+        assert FaultType.from_dict("STUCK_AT_1") is FaultType.STUCK_AT_1
 
 
 class TestPersistence:
@@ -26,7 +53,7 @@ class TestPersistence:
         assert (loaded.released_bits == result.released_bits).all()
         assert (loaded.outcomes == result.outcomes).all()
         assert loaded.counts() == result.counts()
-        assert loaded.extra["loaded_specs"]
+        assert loaded.specs == result.specs
 
     def test_offline_attack_matches_online(
         self, naive_design, present_spec, tmp_path

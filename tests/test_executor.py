@@ -1,0 +1,305 @@
+"""The resilient campaign executor: sharding, checkpoints, supervision.
+
+The load-bearing property is the determinism contract: a sharded,
+parallel, interrupted-and-resumed campaign must produce *bit-identical*
+arrays to a single-shot in-process run with the same seed.  The rest is
+robustness plumbing: retry-with-backoff, per-shard timeouts, partial
+results, and checkpoint corruption handling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    RNG_BLOCK,
+    CheckpointError,
+    ExecutorConfig,
+    FaultSpec,
+    FaultType,
+    run_campaign,
+    run_campaign_sharded,
+)
+from repro.faults.checkpoint import CheckpointStore, shard_digest
+from repro.faults.models import sbox_input_net
+from tests.conftest import TEST_KEY80
+
+N_RUNS = 2 * RNG_BLOCK + RNG_BLOCK // 2  # 2.5 shards at shard_runs=RNG_BLOCK
+SEED = 21
+
+
+def _fault(design, present_spec):
+    net = sbox_input_net(design.cores[0], 7, 1)
+    return FaultSpec.at(net, FaultType.STUCK_AT_0, present_spec.rounds - 2)
+
+
+@pytest.fixture(scope="module")
+def single_shot(naive_design, present_spec):
+    fault = _fault(naive_design, present_spec)
+    return run_campaign(
+        naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED
+    )
+
+
+def _assert_identical(a, b):
+    assert (a.plaintext_bits == b.plaintext_bits).all()
+    assert (a.released_bits == b.released_bits).all()
+    assert (a.expected_bits == b.expected_bits).all()
+    assert (a.fault_flags == b.fault_flags).all()
+    assert (a.outcomes == b.outcomes).all()
+
+
+# ---------------------------------------------------------- fail-injection
+# Hooks must be module-level (picklable) to also work under a process pool.
+
+
+def fail_from_shard_one(index: int, attempt: int) -> None:
+    if index >= 1:
+        raise RuntimeError("injected shard crash")
+
+
+class FlakyFirstAttempt:
+    """Raises on every shard's first attempt, succeeds on the retry."""
+
+    def __call__(self, index: int, attempt: int) -> None:
+        if attempt == 1:
+            raise OSError("injected transient failure")
+
+
+def always_fail_shard_zero(index: int, attempt: int) -> None:
+    if index == 0:
+        raise ValueError("injected persistent failure")
+
+
+def sleep_in_shard_zero(index: int, attempt: int) -> None:
+    if index == 0:
+        time.sleep(5)
+
+
+class TestDeterminism:
+    def test_chunk_size_invariance(self, naive_design, present_spec, single_shot):
+        fault = _fault(naive_design, present_spec)
+        small = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            chunk=RNG_BLOCK,
+        )
+        _assert_identical(small, single_shot)
+
+    def test_sharded_equals_single_shot(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        fault = _fault(naive_design, present_spec)
+        sharded = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=tmp_path / "ck",
+        )
+        _assert_identical(sharded, single_shot)
+        assert not sharded.partial
+        assert sharded.extra["n_shards"] == 3
+
+    def test_parallel_equals_single_shot(
+        self, naive_design, present_spec, single_shot
+    ):
+        fault = _fault(naive_design, present_spec)
+        parallel = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            jobs=2, shard_runs=RNG_BLOCK,
+        )
+        _assert_identical(parallel, single_shot)
+
+    def test_interrupt_resume_is_bit_identical(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        """Kill after k shards, resume, compare against the uninterrupted run."""
+        fault = _fault(naive_design, present_spec)
+        ck = tmp_path / "ck"
+        with pytest.warns(RuntimeWarning, match="partially"):
+            partial = run_campaign_sharded(
+                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+                config=ExecutorConfig(
+                    shard_runs=RNG_BLOCK, checkpoint_dir=ck, retries=0, backoff=0.0
+                ),
+                shard_hook=fail_from_shard_one,
+            )
+        assert partial.partial and partial.n_runs == RNG_BLOCK
+
+        store = CheckpointStore(ck)
+        store.load()
+        digests_before = {
+            i: r.digest for i, r in store.shards.items() if r.status == "done"
+        }
+        assert list(digests_before) == [0]
+
+        resumed = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
+        )
+        _assert_identical(resumed, single_shot)
+        assert not resumed.partial
+
+        # the resumed ledger is complete and the surviving shard's digest
+        # is untouched (it was loaded from disk, not recomputed)
+        store = CheckpointStore(ck)
+        store.load()
+        assert all(r.status == "done" for r in store.shards.values())
+        assert store.shards[0].digest == digests_before[0]
+
+    def test_resume_skips_completed_shards(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        """A second resume with a poisoned hook never re-executes anything."""
+        fault = _fault(naive_design, present_spec)
+        ck = tmp_path / "ck"
+        run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+        )
+
+        def explode(index, attempt):  # would fail any recomputed shard
+            raise AssertionError("shard was re-executed on resume")
+
+        resumed = run_campaign_sharded(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True
+            ),
+            shard_hook=explode,
+        )
+        _assert_identical(resumed, single_shot)
+
+
+class TestSupervision:
+    def test_retry_with_backoff_recovers_transient_failures(
+        self, naive_design, present_spec, single_shot
+    ):
+        fault = _fault(naive_design, present_spec)
+        result = run_campaign_sharded(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            config=ExecutorConfig(shard_runs=RNG_BLOCK, retries=1, backoff=0.0),
+            shard_hook=FlakyFirstAttempt(),
+        )
+        assert not result.partial
+        _assert_identical(result, single_shot)
+
+    def test_exhausted_retries_degrade_to_partial_result(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        fault = _fault(naive_design, present_spec)
+        ck = tmp_path / "ck"
+        with pytest.warns(RuntimeWarning, match="partially"):
+            result = run_campaign_sharded(
+                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+                config=ExecutorConfig(
+                    shard_runs=RNG_BLOCK, checkpoint_dir=ck, retries=1, backoff=0.0
+                ),
+                shard_hook=always_fail_shard_zero,
+            )
+        # shard 0 dropped, the surviving shards are exactly runs [1024, 2560)
+        assert result.partial
+        assert result.n_runs == N_RUNS - RNG_BLOCK
+        [failure] = result.extra["failed_shards"]
+        assert failure["index"] == 0
+        assert failure["attempts"] == 2  # first attempt + one retry
+        assert "injected persistent failure" in failure["error"]
+        assert (result.released_bits == single_shot.released_bits[RNG_BLOCK:]).all()
+
+        store = CheckpointStore(ck)
+        store.load()
+        assert store.shards[0].status == "failed"
+        assert store.shards[0].attempts == 2
+
+    def test_shard_timeout_enforced(self, naive_design, present_spec):
+        fault = _fault(naive_design, present_spec)
+        with pytest.warns(RuntimeWarning, match="partially"):
+            result = run_campaign_sharded(
+                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+                config=ExecutorConfig(
+                    shard_runs=RNG_BLOCK, timeout=0.3, retries=0, backoff=0.0
+                ),
+                shard_hook=sleep_in_shard_zero,
+            )
+        assert result.partial
+        assert "ShardTimeout" in result.extra["failed_shards"][0]["error"]
+
+
+class TestCheckpointIntegrity:
+    def _checkpointed(self, naive_design, present_spec, ck):
+        fault = _fault(naive_design, present_spec)
+        return run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+        )
+
+    def test_corrupt_manifest_raises(self, naive_design, present_spec, tmp_path):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        (ck / "manifest.json").write_text("{ this is not json")
+        fault = _fault(naive_design, present_spec)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            run_campaign(
+                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
+            )
+
+    def test_foreign_campaign_rejected(self, naive_design, present_spec, tmp_path):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        fault = _fault(naive_design, present_spec)
+        with pytest.raises(CheckpointError, match="different"):
+            run_campaign(
+                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80,
+                seed=SEED + 1,  # different campaign identity
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
+            )
+
+    def test_corrupt_shard_archive_recomputed(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        (ck / "shard_00001.npz").write_bytes(b"garbage, not a zip archive")
+        fault = _fault(naive_design, present_spec)
+        resumed = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
+        )
+        _assert_identical(resumed, single_shot)
+
+    def test_tampered_shard_fails_digest_and_recomputes(
+        self, naive_design, present_spec, single_shot, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        store = CheckpointStore(ck)
+        store.load()
+        arrays = store.read_shard(1)
+        assert arrays is not None
+        arrays["released_bits"] = arrays["released_bits"].copy()
+        arrays["released_bits"][0, 0] ^= 1
+        np.savez_compressed(store.shard_path(1), **arrays)
+        assert store.read_shard(1) is None  # digest mismatch detected
+
+        fault = _fault(naive_design, present_spec)
+        resumed = run_campaign(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
+        )
+        _assert_identical(resumed, single_shot)
+
+    def test_manifest_records_digests(self, naive_design, present_spec, tmp_path):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        raw = json.loads((ck / "manifest.json").read_text())
+        assert raw["version"] == 1
+        assert raw["campaign"]["seed"] == SEED
+        assert raw["campaign"]["n_runs"] == N_RUNS
+        assert len(raw["shards"]) == 3
+        store = CheckpointStore(ck)
+        store.load()
+        for index, record in store.shards.items():
+            arrays = store.read_shard(index)
+            assert shard_digest(arrays) == record.digest
