@@ -1,0 +1,82 @@
+"""Budgeted coverage certification of the paper's scheme vs. naive duplication.
+
+Where ``bench_fault_coverage`` hand-walks the S-box wires, this bench runs
+the real certifier over the *enumerated* fault space — all four adversarial
+models, stratified under a run budget — and asserts the headline claims in
+certificate form: three-in-one earns a passing certificate with zero
+``EFFECTIVE`` witnesses, while naive duplication is broken by the
+identical-mask model and every recorded witness replays exactly.
+"""
+
+from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
+from repro.certify import CertifyConfig, certify_design, replay_witness
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import build_naive_duplication, build_three_in_one
+from repro.faults import Outcome
+
+BUDGET = 50_000
+RUNS_PER_LOCATION = 64
+ROUNDS = 8  # reduced-round instance: same per-round netlist, bench-sized sweep
+
+
+def run_certify():
+    spec = PresentSpec(rounds=ROUNDS)
+    knobs = campaign_knobs("certify")
+    ours = certify_design(
+        build_three_in_one(spec),
+        key=BENCH_KEY,
+        config=CertifyConfig(
+            budget=BUDGET,
+            runs_per_location=RUNS_PER_LOCATION,
+            seed=11,
+            jobs=knobs["jobs"] or 1,
+            checkpoint_dir=(
+                knobs["checkpoint_dir"] / "ours" if knobs["checkpoint_dir"] else None
+            ),
+            resume=knobs["resume"],
+        ),
+    )
+    naive_design = build_naive_duplication(spec)
+    naive = certify_design(
+        naive_design,
+        key=BENCH_KEY,
+        config=CertifyConfig(
+            budget=BUDGET // 8,
+            runs_per_location=RUNS_PER_LOCATION,
+            models=("identical_mask",),
+            seed=11,
+            jobs=knobs["jobs"] or 1,
+            checkpoint_dir=(
+                knobs["checkpoint_dir"] / "naive" if knobs["checkpoint_dir"] else None
+            ),
+            resume=knobs["resume"],
+        ),
+    )
+    return ours, naive, naive_design
+
+
+def test_certify_coverage(benchmark, artifact_dir):
+    ours, naive, naive_design = benchmark.pedantic(
+        run_certify, rounds=1, iterations=1
+    )
+
+    assert ours.passed, ours.verdicts
+    assert not ours.witnesses
+    assert ours.coverage["runs_executed"] >= BUDGET
+    assert not ours.coverage["failed_shards"]
+
+    assert naive.verdicts["dfa_detection"]["status"] == "fail"
+    assert naive.witnesses, "identical-mask sweep must break naive duplication"
+    for witness in naive.witnesses[:4]:
+        outcome, _ = replay_witness(naive_design, witness, key=BENCH_KEY)
+        assert outcome is Outcome.EFFECTIVE, witness["scenario"]["label"]
+
+    text = "\n\n".join(
+        [
+            "three-in-one (prime):\n" + ours.summary(),
+            "naive duplication (identical-mask model):\n" + naive.summary(),
+        ]
+    )
+    emit(artifact_dir, "certify_coverage.txt", text)
+    ours.save(artifact_dir / "certificate_three_in_one.json")
+    naive.save(artifact_dir / "certificate_naive.json")

@@ -1,0 +1,38 @@
+"""Fault-space coverage certifier.
+
+Enumerates the full single-fault space of a protected design
+(:mod:`repro.certify.space`), sweeps it — exhaustively or as a stratified
+sample under a run budget — through the resilient sharded executor
+(:mod:`repro.certify.certifier`), and emits a deterministic, replayable
+JSON certificate (:mod:`repro.certify.certificate`) with a verdict per
+paper claim.  Surfaced as ``repro certify`` on the CLI.
+"""
+
+from repro.certify.certificate import CERTIFICATE_VERSION, Certificate
+from repro.certify.certifier import (
+    CERTIFY_KEYS,
+    CertifyConfig,
+    certify_design,
+    replay_witness,
+)
+from repro.certify.space import (
+    DEFAULT_MODELS,
+    FaultSpace,
+    SpaceSection,
+    enumerate_fault_space,
+    locations_for_budget,
+)
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "CERTIFY_KEYS",
+    "Certificate",
+    "CertifyConfig",
+    "DEFAULT_MODELS",
+    "FaultSpace",
+    "SpaceSection",
+    "certify_design",
+    "enumerate_fault_space",
+    "locations_for_budget",
+    "replay_witness",
+]

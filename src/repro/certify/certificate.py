@@ -1,0 +1,147 @@
+"""The machine-readable coverage certificate.
+
+A certificate is the auditable artefact of one certify run: what space was
+swept, how much of it, what happened at every covered location, every
+``EFFECTIVE`` witness with enough information to replay it exactly, and a
+verdict per paper claim.  Rendering is deterministic — ``sort_keys`` JSON
+with all wall-clock data isolated under the single ``timing`` key — so two
+runs over the same inputs (including an interrupted-and-resumed run) emit
+byte-identical documents once ``timing`` is dropped; the test suite and CI
+diff them that way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CERTIFICATE_VERSION", "Certificate"]
+
+CERTIFICATE_VERSION = 1
+
+
+@dataclass
+class Certificate:
+    """Everything a certify run asserts, in JSON-safe form."""
+
+    scheme: str
+    variant: str | None
+    cipher: str
+    rounds: int
+    key: str
+    seed: int
+    runs_per_location: int
+    #: enumeration summary: total size, per-model sizes, space digest
+    space: dict
+    #: locations_total / locations_covered / runs_executed / fraction /
+    #: sampled / budget / stopped_early / failed_shards
+    coverage: dict
+    #: :meth:`repro.netlist.analysis.LintReport.to_dict` of the preamble
+    lint: dict
+    #: aggregate outcome histograms keyed ``model/fault_type``
+    histograms: dict
+    #: per-location records: ``[space_index, [ineff, det, eff, inf]]``
+    locations: list = field(default_factory=list)
+    #: every EFFECTIVE location (capped), each with a replayable recipe
+    witnesses: list = field(default_factory=list)
+    #: claim → verdict dict (``status`` plus claim-specific evidence)
+    verdicts: dict = field(default_factory=dict)
+    #: wall-clock data; everything volatile lives here and only here
+    timing: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when every applicable verdict passed."""
+        return all(
+            v.get("status") in ("pass", "not_applicable")
+            for v in self.verdicts.values()
+        )
+
+    def to_dict(self, *, include_timing: bool = True) -> dict:
+        doc = {
+            "version": CERTIFICATE_VERSION,
+            "scheme": self.scheme,
+            "variant": self.variant,
+            "cipher": self.cipher,
+            "rounds": self.rounds,
+            "key": self.key,
+            "seed": self.seed,
+            "runs_per_location": self.runs_per_location,
+            "space": self.space,
+            "coverage": self.coverage,
+            "lint": self.lint,
+            "histograms": self.histograms,
+            "locations": self.locations,
+            "witnesses": self.witnesses,
+            "verdicts": self.verdicts,
+        }
+        if include_timing:
+            doc["timing"] = self.timing
+        return doc
+
+    def render(self, *, include_timing: bool = True) -> str:
+        """Deterministic JSON text (see module docstring)."""
+        return json.dumps(
+            self.to_dict(include_timing=include_timing),
+            indent=1,
+            sort_keys=True,
+        )
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.render() + "\n")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Certificate":
+        if doc.get("version") != CERTIFICATE_VERSION:
+            raise ValueError(
+                f"unsupported certificate version {doc.get('version')!r}"
+            )
+        return cls(
+            scheme=doc["scheme"],
+            variant=doc["variant"],
+            cipher=doc["cipher"],
+            rounds=doc["rounds"],
+            key=doc["key"],
+            seed=doc["seed"],
+            runs_per_location=doc["runs_per_location"],
+            space=doc["space"],
+            coverage=doc["coverage"],
+            lint=doc["lint"],
+            histograms=doc["histograms"],
+            locations=doc.get("locations", []),
+            witnesses=doc.get("witnesses", []),
+            verdicts=doc.get("verdicts", {}),
+            timing=doc.get("timing", {}),
+        )
+
+    @classmethod
+    def load(cls, path) -> "Certificate":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> str:
+        """A short human-readable digest for CLI output."""
+        cov = self.coverage
+        lines = [
+            f"certificate: {self.scheme}"
+            + (f" ({self.variant})" if self.variant else "")
+            + f" on {self.cipher}, {self.rounds} rounds",
+            f"space: {self.space['total']} locations "
+            + " ".join(f"{m}={n}" for m, n in sorted(self.space["per_model"].items())),
+            f"coverage: {cov['locations_covered']}/{cov['locations_total']} "
+            f"locations ({cov['fraction']:.4f})"
+            + (" [stratified sample]" if cov["sampled"] else " [exhaustive]")
+            + f", {cov['runs_executed']} faulted runs",
+        ]
+        for claim, verdict in sorted(self.verdicts.items()):
+            lines.append(f"verdict {claim}: {verdict['status']}")
+        if self.witnesses:
+            w = self.witnesses[0]
+            lines.append(
+                f"witnesses: {len(self.witnesses)} EFFECTIVE location(s); first: "
+                f"{w['scenario']['label']} (replay: seed={w['seed']}, "
+                f"run={w['run']})"
+            )
+        else:
+            lines.append("witnesses: none")
+        return "\n".join(lines)

@@ -1,0 +1,412 @@
+"""Drive an exhaustive (or budgeted) sweep and assemble the certificate.
+
+The sweep runs one mini-campaign per fault-space location — ``R`` fresh
+randomised invocations under that location's scenario, classified against
+the clean twin simulation — sharded through the resilient executor
+(:func:`repro.faults.executor.run_sharded`), so a certify run inherits the
+campaign machinery's checkpointing, resume, parallelism, retry and
+timeout semantics wholesale.
+
+Determinism: every location's runs use ``run_range(lo=0, hi=R)`` with the
+certificate's seed, i.e. all locations share one plaintext/λ draw (common
+random numbers — differences between locations are never RNG noise) and
+any witness replays *exactly* as
+``run_campaign(design, scenario.specs, n_runs=R, key=key, seed=seed)``.
+The emitted document depends only on ``(design, space, sample, key, seed,
+R)`` — never on sharding, worker count, or interruption history.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.certify.certificate import Certificate
+from repro.certify.space import (
+    DEFAULT_MODELS,
+    FaultSpace,
+    enumerate_fault_space,
+    locations_for_budget,
+)
+from repro.countermeasures.base import ProtectedDesign, RecoveryPolicy
+from repro.faults.campaign import run_campaign, run_range
+from repro.faults.classification import Outcome, classify
+from repro.faults.executor import ExecutorConfig, run_sharded
+from repro.faults.models import FaultScenario
+from repro.netlist.analysis import lint_countermeasure
+
+__all__ = ["CERTIFY_KEYS", "CertifyConfig", "certify_design", "replay_witness"]
+
+#: arrays each certify shard produces (leading dim = locations in shard)
+CERTIFY_KEYS = ("index", "counts", "witness_run")
+
+#: certificates embed at most this many witnesses (the verdict still
+#: counts all of them; a broken scheme does not need a gigabyte of proof)
+WITNESS_CAP = 32
+
+
+@dataclass(frozen=True)
+class CertifyConfig:
+    """Knobs of a certify run."""
+
+    #: total faulted-run budget; None = exhaustive sweep of the space.
+    #: A budget smaller than the space degrades to a stratified sample —
+    #: reported as such in the certificate, never silently.
+    budget: int | None = None
+    #: randomised invocations per fault location
+    runs_per_location: int = 64
+    #: adversarial models to sweep (see :mod:`repro.certify.space`)
+    models: tuple[str, ...] = DEFAULT_MODELS
+    #: active rounds to sweep; None = every round
+    cycles: tuple[int, ...] | None = None
+    #: campaign seed (plaintexts, λ, probabilistic masks, and the sample)
+    seed: int = 1
+    #: stop scheduling new shards as soon as one yields a witness
+    fail_fast: bool = False
+    #: locations per executor shard
+    shard_locations: int = 64
+    # -- resilient-executor passthrough
+    jobs: int = 1
+    checkpoint_dir: object = None
+    resume: bool = False
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.5
+
+
+def _certify_task(
+    design: ProtectedDesign,
+    space: FaultSpace,
+    indices: np.ndarray,
+    key: int,
+    seed: int,
+    runs: int,
+    flag_observable: bool,
+    infective: bool,
+    lo: int,
+    hi: int,
+) -> dict[str, np.ndarray]:
+    """Shard task: mini-campaign each of ``indices[lo:hi]``."""
+    sel = np.asarray(indices[lo:hi], dtype=np.int64)
+    counts = np.zeros((len(sel), len(Outcome)), dtype=np.int64)
+    witness = np.full(len(sel), -1, dtype=np.int64)
+    for row, index in enumerate(sel):
+        scenario = space.scenario(int(index))
+        _, rel, exp, flags = run_range(
+            design, scenario.specs, key=key, seed=seed, lo=0, hi=runs
+        )
+        outcomes = classify(
+            rel, flags, exp, flag_observable=flag_observable, infective=infective
+        )
+        counts[row] = np.bincount(outcomes, minlength=len(Outcome))
+        effective = np.flatnonzero(outcomes == Outcome.EFFECTIVE)
+        if effective.size:
+            witness[row] = effective[0]
+    return {"index": sel, "counts": counts, "witness_run": witness}
+
+
+def _shard_found_witness(index: int, arrays: dict[str, np.ndarray]) -> bool:
+    return bool((arrays["witness_run"] >= 0).any())
+
+
+def certify_design(
+    design: ProtectedDesign,
+    *,
+    key: int,
+    config: CertifyConfig | None = None,
+) -> Certificate:
+    """Sweep ``design``'s fault space and emit a :class:`Certificate`.
+
+    Preamble: the structural lint runs first (non-strict) — a design whose
+    wiring already violates a security invariant gets a failing
+    certificate without burning the sweep budget.  Then the space is
+    enumerated, budget-sampled if needed, sharded, executed, and the
+    per-location outcome histograms are folded into verdicts:
+
+    - ``structural_lint`` — the preamble's report;
+    - ``dfa_detection`` — no covered location may produce an ``EFFECTIVE``
+      run (a wrong ciphertext released unflagged); any that does becomes a
+      replayable witness;
+    - ``sifa_uniformity`` — for λ-encoded schemes, every biased single
+      fault on an encoded net must be ineffective at a data-independent
+      ≈½ rate (within a 6σ binomial band).  Necessary, not sufficient:
+      the full SEI analysis lives in the Fig. 4 pipeline; this catches a
+      location whose ineffectiveness is grossly value-correlated.
+    """
+    config = config or CertifyConfig()
+    started = time.time()
+    flag_observable = design.scheme != "triplication"
+    infective = design.policy is RecoveryPolicy.INFECTIVE
+    runs = config.runs_per_location
+
+    lint = lint_countermeasure(design, strict=False)
+    space = enumerate_fault_space(
+        design, models=config.models, cycles=config.cycles
+    )
+    space_doc = {
+        "total": space.total,
+        "per_model": space.per_model(),
+        "digest": space.digest(),
+        "models": list(config.models),
+        "cycles": (
+            list(config.cycles) if config.cycles is not None else None
+        ),
+    }
+    base = dict(
+        scheme=design.scheme,
+        variant=design.variant,
+        cipher=design.spec.name,
+        rounds=design.spec.rounds,
+        key=str(key),
+        seed=config.seed,
+        runs_per_location=runs,
+        space=space_doc,
+        lint=lint.to_dict(),
+    )
+
+    if not lint.passed:
+        # Structurally unsound: certify nothing beyond the lint verdict.
+        skipped = {"status": "skipped", "reason": "structural lint failed"}
+        return Certificate(
+            **base,
+            coverage={
+                "locations_total": space.total,
+                "locations_planned": 0,
+                "locations_covered": 0,
+                "runs_executed": 0,
+                "fraction": 0.0,
+                "sampled": False,
+                "budget": config.budget,
+                "stopped_early": False,
+                "failed_shards": [],
+            },
+            histograms={},
+            verdicts={
+                "structural_lint": {
+                    "status": "fail",
+                    "n_datapath": lint.n_datapath,
+                },
+                "dfa_detection": dict(skipped),
+                "sifa_uniformity": dict(skipped),
+            },
+            timing={"wall_time_s": round(time.time() - started, 3)},
+        )
+
+    if config.budget is not None:
+        n_locations = min(
+            space.total, locations_for_budget(config.budget, runs)
+        )
+        indices = space.sample(n_locations, seed=config.seed)
+    else:
+        indices = np.arange(space.total, dtype=np.int64)
+
+    step = max(1, config.shard_locations)
+    ranges = [
+        (lo, min(lo + step, len(indices)))
+        for lo in range(0, len(indices), step)
+    ]
+    identity = {
+        "kind": "certify",
+        "scheme": design.scheme,
+        "variant": design.variant,
+        "cipher": design.spec.name,
+        "rounds": design.spec.rounds,
+        "key": str(key),
+        "seed": config.seed,
+        "runs_per_location": runs,
+        "budget": config.budget,
+        "models": list(config.models),
+        "cycles": list(config.cycles) if config.cycles is not None else None,
+        "space_digest": space_doc["digest"],
+        "n_locations": int(len(indices)),
+        "shard_locations": step,
+    }
+    task = functools.partial(
+        _certify_task,
+        design,
+        space,
+        indices,
+        key,
+        config.seed,
+        runs,
+        flag_observable,
+        infective,
+    )
+    run = run_sharded(
+        task,
+        ranges,
+        config=ExecutorConfig(
+            jobs=config.jobs,
+            chunk=max(runs, 1),
+            checkpoint_dir=config.checkpoint_dir,
+            resume=config.resume,
+            timeout=config.timeout,
+            retries=config.retries,
+            backoff=config.backoff,
+        ),
+        identity=identity,
+        keys=CERTIFY_KEYS,
+        on_shard_done=_shard_found_witness if config.fail_fast else None,
+    )
+
+    merged = run.merged(CERTIFY_KEYS)
+    if merged is None:
+        merged = {
+            "index": np.zeros(0, dtype=np.int64),
+            "counts": np.zeros((0, len(Outcome)), dtype=np.int64),
+            "witness_run": np.zeros(0, dtype=np.int64),
+        }
+    order = np.argsort(merged["index"], kind="stable")
+    covered = merged["index"][order]
+    counts = merged["counts"][order]
+    witness_runs = merged["witness_run"][order]
+
+    histograms: dict[str, np.ndarray] = {}
+    strata = [space.stratum(int(i)) for i in covered]
+    for (model, ftype, _cycle), row in zip(strata, counts):
+        bucket = histograms.setdefault(
+            f"{model}/{ftype}", np.zeros(len(Outcome), dtype=np.int64)
+        )
+        bucket += row
+
+    effective_rows = np.flatnonzero(counts[:, Outcome.EFFECTIVE] > 0)
+    witnesses = []
+    for row in effective_rows[:WITNESS_CAP]:
+        index = int(covered[row])
+        scenario = space.scenario(index)
+        witnesses.append(
+            {
+                "space_index": index,
+                "scenario": scenario.to_dict(),
+                "seed": config.seed,
+                "n_runs": runs,
+                "run": int(witness_runs[row]),
+                "effective_runs": int(counts[row, Outcome.EFFECTIVE]),
+                "replay": (
+                    "run_campaign(design, scenario.specs, "
+                    f"n_runs={runs}, key=<key>, seed={config.seed})"
+                    f".outcomes[{int(witness_runs[row])}] == EFFECTIVE"
+                ),
+            }
+        )
+
+    verdicts = {
+        "structural_lint": {"status": "pass", "n_datapath": lint.n_datapath},
+        "dfa_detection": {
+            "status": "fail" if effective_rows.size else "pass",
+            "effective_locations": int(effective_rows.size),
+            "effective_runs": int(counts[:, Outcome.EFFECTIVE].sum()),
+        },
+        "sifa_uniformity": _sifa_uniformity_verdict(
+            design, space, covered, counts, runs
+        ),
+    }
+
+    n_covered = int(len(covered))
+    certificate = Certificate(
+        **base,
+        coverage={
+            "locations_total": space.total,
+            "locations_planned": int(len(indices)),
+            "locations_covered": n_covered,
+            "runs_executed": n_covered * runs,
+            "fraction": (n_covered / space.total) if space.total else 0.0,
+            "sampled": bool(len(indices) < space.total),
+            "budget": config.budget,
+            "stopped_early": bool(run.stopped_early),
+            "failed_shards": run.failures,
+        },
+        histograms={
+            k: [int(x) for x in v] for k, v in sorted(histograms.items())
+        },
+        locations=[
+            [int(i), [int(x) for x in row]] for i, row in zip(covered, counts)
+        ],
+        witnesses=witnesses,
+        verdicts=verdicts,
+        timing={"wall_time_s": round(time.time() - started, 3)},
+    )
+    return certificate
+
+
+def _sifa_uniformity_verdict(
+    design: ProtectedDesign,
+    space: FaultSpace,
+    covered: Sequence[int],
+    counts: np.ndarray,
+    runs: int,
+) -> dict:
+    """Per-location ineffective-rate band check (see certify_design doc)."""
+    if not design.lambda_width:
+        return {
+            "status": "not_applicable",
+            "reason": "scheme carries no λ encoding",
+        }
+    encoded: set[int] = set()
+    for core in design.cores:
+        for word in core.sbox_inputs:
+            encoded.update(word)
+        for word in core.sbox_outputs:
+            encoded.update(word)
+    sigma = (0.25 / runs) ** 0.5
+    lo, hi = 0.5 - 6 * sigma, 0.5 + 6 * sigma
+    checked = 0
+    outliers: list[dict] = []
+    for row, index in enumerate(covered):
+        section, local = space._locate(int(index))
+        if section.model != "single":
+            continue
+        loc_idx, type_idx, cycle_idx = section.split(local)
+        ftype = section.fault_types[type_idx]
+        net = section.locs[loc_idx]
+        if not ftype.is_biased or net not in encoded:
+            continue
+        checked += 1
+        rate = counts[row, Outcome.INEFFECTIVE] / runs
+        if not lo <= rate <= hi:
+            outliers.append(
+                {
+                    "space_index": int(index),
+                    "net": int(net),
+                    "fault_type": ftype.value,
+                    "cycle": int(section.cycles[cycle_idx]),
+                    "ineffective_rate": round(float(rate), 6),
+                }
+            )
+    return {
+        "status": (
+            "not_applicable"
+            if checked == 0
+            else ("fail" if outliers else "pass")
+        ),
+        "checked_locations": checked,
+        "band": [round(lo, 6), round(hi, 6)],
+        "outliers": outliers[:WITNESS_CAP],
+        "note": (
+            "necessary-not-sufficient screen; the SEI analysis of Fig. 4 "
+            "is the full statistical treatment"
+        ),
+    }
+
+
+def replay_witness(
+    design: ProtectedDesign, witness: dict, *, key: int
+) -> tuple[Outcome, object]:
+    """Re-run a certificate witness; returns ``(outcome, CampaignResult)``.
+
+    The outcome of the recorded run index under the recorded scenario,
+    seed and run count — ``Outcome.EFFECTIVE`` confirms the witness.
+    """
+    scenario = FaultScenario.from_dict(witness["scenario"])
+    result = run_campaign(
+        design,
+        list(scenario.specs),
+        n_runs=int(witness["n_runs"]),
+        key=key,
+        seed=int(witness["seed"]),
+    )
+    return Outcome(result.outcomes[int(witness["run"])]), result

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig5  --runs 80000
     python -m repro matrix --runs 16000 --resume --checkpoint-dir ckpt/matrix
     python -m repro sweep  --runs 10000
+    python -m repro certify --scheme three-in-one --budget 50000 --out cert.json
     python -m repro sca    --traces 500
     python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
 
@@ -160,6 +161,51 @@ def _cmd_sca(args) -> int:
     return 0
 
 
+def _build_scheme(scheme: str, *, variant: str, rounds: int | None):
+    from repro.ciphers.netlist_present import PresentSpec
+    from repro.countermeasures import (
+        build_acisp20,
+        build_naive_duplication,
+        build_three_in_one,
+        build_triplication,
+    )
+    from repro.countermeasures.three_in_one import LambdaVariant
+
+    spec = PresentSpec(rounds=rounds)
+    if scheme == "three-in-one":
+        return build_three_in_one(spec, variant=LambdaVariant(variant))
+    if scheme == "naive":
+        return build_naive_duplication(spec)
+    if scheme == "acisp20":
+        return build_acisp20(spec)
+    if scheme == "triplication":
+        return build_triplication(spec)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _cmd_certify(args) -> int:
+    from repro.certify import DEFAULT_MODELS, CertifyConfig, certify_design
+
+    design = _build_scheme(args.scheme, variant=args.variant, rounds=args.rounds)
+    config = CertifyConfig(
+        budget=args.budget,
+        runs_per_location=args.runs_per_location,
+        models=tuple(args.models.split(",")) if args.models else DEFAULT_MODELS,
+        cycles=tuple(int(c) for c in args.cycles.split(",")) if args.cycles else None,
+        seed=args.seed,
+        fail_fast=args.fail_fast,
+        jobs=args.jobs or 1,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    certificate = certify_design(design, key=int(args.key, 0), config=config)
+    print(certificate.summary())
+    if args.out:
+        certificate.save(args.out)
+        print(f"certificate written to {args.out}")
+    return 0 if certificate.passed else 1
+
+
 def _cmd_encrypt(args) -> int:
     from repro.ciphers.netlist_present import PresentSpec
     from repro.ciphers.present import Present80
@@ -217,6 +263,47 @@ def build_parser() -> argparse.ArgumentParser:
     psca.add_argument("--traces", type=int, default=300)
     psca.set_defaults(fn=_cmd_sca)
 
+    pcert = sub.add_parser(
+        "certify",
+        help="sweep the single-fault space and emit a coverage certificate",
+    )
+    pcert.add_argument(
+        "--scheme", default="three-in-one",
+        choices=["three-in-one", "naive", "acisp20", "triplication"],
+    )
+    pcert.add_argument(
+        "--variant", default="prime", choices=["prime", "per_round", "per_sbox"],
+        help="λ variant (three-in-one only)",
+    )
+    pcert.add_argument(
+        "--rounds", type=int, default=None,
+        help="reduced-round PRESENT instance (default: full 31)",
+    )
+    pcert.add_argument(
+        "--budget", type=int, default=None,
+        help="total faulted-run budget; omit for an exhaustive sweep",
+    )
+    pcert.add_argument("--runs-per-location", type=int, default=64)
+    pcert.add_argument(
+        "--models", default=None,
+        help="comma-separated fault models (default: all four)",
+    )
+    pcert.add_argument(
+        "--cycles", default=None,
+        help="comma-separated active rounds (default: every round)",
+    )
+    pcert.add_argument("--seed", type=int, default=4)
+    pcert.add_argument("--key", default="0x0123456789abcdef0123")
+    pcert.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop scheduling new shards once a witness is found",
+    )
+    pcert.add_argument("--jobs", type=int, default=None)
+    pcert.add_argument("--checkpoint-dir", default=None)
+    pcert.add_argument("--resume", action="store_true")
+    pcert.add_argument("--out", default=None, help="write the certificate JSON here")
+    pcert.set_defaults(fn=_cmd_certify)
+
     penc = sub.add_parser("encrypt", help="one protected encryption vs the spec")
     penc.add_argument("--key", default="0x0123456789abcdef0123")
     penc.add_argument("--pt", default="0xcafebabedeadbeef")
@@ -225,9 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: exit status for a --resume that does not match the stored checkpoint
+EXIT_CHECKPOINT_MISMATCH = 3
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.faults.checkpoint import CheckpointError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CheckpointError as exc:
+        # A stale or foreign checkpoint directory is an operator error, not
+        # a crash: name the mismatch and exit with a distinct status so
+        # wrapper scripts can tell it apart from a failed verdict (1).
+        print(f"checkpoint mismatch: {exc}", file=sys.stderr)
+        print(
+            "hint: point --checkpoint-dir at the directory created by the "
+            "original run, or remove it to start fresh",
+            file=sys.stderr,
+        )
+        return EXIT_CHECKPOINT_MISMATCH
 
 
 if __name__ == "__main__":  # pragma: no cover

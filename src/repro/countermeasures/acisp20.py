@@ -24,6 +24,7 @@ from repro.countermeasures.base import (
     attach_comparator,
 )
 from repro.countermeasures.merged_sbox import build_merged_sbox
+from repro.netlist.analysis import lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
 
 __all__ = ["build_acisp20"]
@@ -74,9 +75,8 @@ def build_acisp20(
     )
     builder.output("ciphertext", out)
     builder.output("fault", [fault])
-    builder.circuit.validate()
-    return ProtectedDesign(
-        circuit=builder.circuit,
+    design = ProtectedDesign(
+        circuit=builder.build(),
         spec=spec,
         scheme="acisp20",
         cores=[core_a, core_r],
@@ -84,3 +84,5 @@ def build_acisp20(
         lambda_width=2,
         sbox_circuit=sbox_circuit,
     )
+    lint_countermeasure(design)
+    return design

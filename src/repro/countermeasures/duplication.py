@@ -16,6 +16,7 @@ from repro.countermeasures.base import (
     RecoveryPolicy,
     attach_comparator,
 )
+from repro.netlist.analysis import lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
 from repro.synth.sbox_synth import synthesize_sbox
 
@@ -59,12 +60,13 @@ def build_naive_duplication(
     )
     builder.output("ciphertext", out)
     builder.output("fault", [fault])
-    builder.circuit.validate()
-    return ProtectedDesign(
-        circuit=builder.circuit,
+    design = ProtectedDesign(
+        circuit=builder.build(),
         spec=spec,
         scheme="naive_duplication",
         cores=[core_a, core_r],
         policy=policy,
         sbox_circuit=sbox_circuit,
     )
+    lint_countermeasure(design)
+    return design

@@ -32,6 +32,7 @@ from repro.countermeasures.base import (
     attach_comparator,
 )
 from repro.countermeasures.merged_sbox import build_merged_sbox
+from repro.netlist.analysis import lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
 
 __all__ = ["LambdaVariant", "build_three_in_one"]
@@ -112,9 +113,8 @@ def build_three_in_one(
     )
     builder.output("ciphertext", out)
     builder.output("fault", [fault])
-    builder.circuit.validate()
-    return ProtectedDesign(
-        circuit=builder.circuit,
+    design = ProtectedDesign(
+        circuit=builder.build(),
         spec=spec,
         scheme="three_in_one",
         cores=[core_a, core_r],
@@ -125,3 +125,5 @@ def build_three_in_one(
         sbox_circuit=sbox_circuit,
         extra={"construction": construction},
     )
+    lint_countermeasure(design)
+    return design

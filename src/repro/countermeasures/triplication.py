@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.ciphers.spn import CipherSpec
 from repro.countermeasures.base import ProtectedDesign, RecoveryPolicy
+from repro.netlist.analysis import lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
 from repro.synth.sbox_synth import synthesize_sbox
 
@@ -54,12 +55,13 @@ def build_triplication(
 
     builder.output("ciphertext", voted)
     builder.output("fault", [fault])
-    builder.circuit.validate()
-    return ProtectedDesign(
-        circuit=builder.circuit,
+    design = ProtectedDesign(
+        circuit=builder.build(),
         spec=spec,
         scheme="triplication",
         cores=cores,
         policy=RecoveryPolicy.SUPPRESS,
         sbox_circuit=sbox_circuit,
     )
+    lint_countermeasure(design)
+    return design

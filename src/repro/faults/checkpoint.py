@@ -61,10 +61,12 @@ class ShardRecord:
         return self.hi - self.lo
 
 
-def shard_digest(arrays: dict[str, np.ndarray]) -> str:
+def shard_digest(
+    arrays: dict[str, np.ndarray], keys: tuple[str, ...] = SHARD_KEYS
+) -> str:
     """SHA-256 over the shard's arrays in canonical key order."""
     h = hashlib.sha256()
-    for key in SHARD_KEYS:
+    for key in keys:
         a = np.ascontiguousarray(arrays[key])
         h.update(key.encode())
         h.update(str(a.shape).encode())
@@ -73,11 +75,20 @@ def shard_digest(arrays: dict[str, np.ndarray]) -> str:
 
 
 class CheckpointStore:
-    """Reads and writes one campaign's checkpoint directory."""
+    """Reads and writes one campaign's checkpoint directory.
 
-    def __init__(self, directory) -> None:
+    ``keys`` names the arrays each shard persists (first key's leading
+    dimension must equal the shard's item count).  Campaigns use the
+    default :data:`SHARD_KEYS`; the coverage certifier stores per-location
+    outcome counts instead.  The key set is pinned in the manifest, so
+    resuming with a different key set raises :class:`CheckpointError`
+    rather than mixing incompatible shards.
+    """
+
+    def __init__(self, directory, *, keys: tuple[str, ...] = SHARD_KEYS) -> None:
         self.directory = Path(directory)
         self.manifest_path = self.directory / MANIFEST_NAME
+        self.keys = tuple(keys)
         self.config: dict = {}
         self.shards: dict[int, ShardRecord] = {}
 
@@ -120,6 +131,12 @@ class CheckpointStore:
             raise CheckpointError(
                 f"corrupt checkpoint manifest {self.manifest_path}: {exc}"
             ) from exc
+        stored_keys = tuple(raw.get("keys", SHARD_KEYS))
+        if stored_keys != self.keys:
+            raise CheckpointError(
+                f"checkpoint at {self.directory} stores arrays "
+                f"{list(stored_keys)}, this run expects {list(self.keys)}"
+            )
         if expected_config is not None and self.config != expected_config:
             diff = {
                 k: (self.config.get(k), expected_config.get(k))
@@ -136,6 +153,7 @@ class CheckpointStore:
         payload = {
             "version": MANIFEST_VERSION,
             "campaign": self.config,
+            "keys": list(self.keys),
             "shards": {str(i): asdict(r) for i, r in sorted(self.shards.items())},
         }
         fd, tmp = tempfile.mkstemp(
@@ -160,9 +178,9 @@ class CheckpointStore:
     def write_shard(self, index: int, arrays: dict[str, np.ndarray]) -> None:
         """Persist a completed shard and mark it ``done`` in the ledger."""
         record = self.shards[index]
-        np.savez_compressed(self.shard_path(index), **{k: arrays[k] for k in SHARD_KEYS})
+        np.savez_compressed(self.shard_path(index), **{k: arrays[k] for k in self.keys})
         record.status = "done"
-        record.digest = shard_digest(arrays)
+        record.digest = shard_digest(arrays, self.keys)
         record.error = ""
         self.flush()
 
@@ -178,12 +196,12 @@ class CheckpointStore:
             return None
         try:
             with np.load(self.shard_path(index), allow_pickle=False) as data:
-                arrays = {k: data[k] for k in SHARD_KEYS}
+                arrays = {k: data[k] for k in self.keys}
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
             return None
-        if record.digest and shard_digest(arrays) != record.digest:
+        if record.digest and shard_digest(arrays, self.keys) != record.digest:
             return None
-        if len(arrays["plaintext_bits"]) != record.n_runs:
+        if len(arrays[self.keys[0]]) != record.n_runs:
             return None
         return arrays
 

@@ -1,11 +1,11 @@
-"""Resilient sharded execution of fault campaigns.
+"""Resilient sharded execution of fault campaigns (and other sweeps).
 
 :func:`repro.faults.campaign.run_campaign` is a fine single-shot loop, but
 the paper-scale campaigns (80,000 runs × several designs × several specs)
 are exactly the workloads that die to an OOM kill, a ^C, or a flaky node —
-losing everything.  This module decomposes a campaign into deterministic
-*shards* (contiguous, RNG-block-aligned run ranges) and executes them
-through a supervised worker pool:
+losing everything.  This module decomposes a workload into deterministic
+*shards* (contiguous index ranges) and executes them through a supervised
+worker pool:
 
 - **Determinism** — every shard draws its randomness from per-block
   substreams keyed by ``(campaign_seed, block_index)`` (see
@@ -17,15 +17,22 @@ through a supervised worker pool:
   (:mod:`repro.faults.checkpoint`); ``resume=True`` skips shards whose
   checkpoint verifies against its digest and recomputes the rest.
 - **Supervision** — shards get a wall-clock ``timeout`` (enforced with
-  ``SIGALRM`` inside the worker), transient failures are retried with
-  exponential backoff, and a broken process pool is rebuilt and the lost
-  shards resubmitted.
+  ``SIGALRM`` inside the worker where available; degrading to untimed
+  execution with a one-time warning elsewhere), transient failures are
+  retried with exponential backoff, and a broken process pool is rebuilt
+  and the lost shards resubmitted.
 - **Graceful degradation** — a shard that exhausts its retries is recorded
   as ``failed`` in the manifest and *dropped*: the campaign completes with
   the surviving shards and ``result.partial`` set, instead of dying at
   99%.
 
-The process pool uses ``concurrent.futures.ProcessPoolExecutor``; designs
+Two entry points share all of that machinery: :func:`run_campaign_sharded`
+runs one fault campaign (the original API), while the generic
+:func:`run_sharded` executes any picklable ``task(lo, hi) -> arrays``
+over arbitrary index ranges — the coverage certifier shards its sweep of
+the fault space through it.
+
+The process pool uses ``concurrent.futures.ProcessPoolExecutor``; tasks
 that cannot be pickled (or ``jobs=1``) fall back to in-process serial
 execution with the same checkpoint/retry semantics.
 """
@@ -33,6 +40,7 @@ execution with the same checkpoint/retry semantics.
 from __future__ import annotations
 
 import contextlib
+import functools
 import pickle
 import signal
 import threading
@@ -41,7 +49,7 @@ import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -54,13 +62,20 @@ from repro.faults.models import FaultSpec
 __all__ = [
     "ExecutorConfig",
     "ShardTimeout",
+    "ShardedRun",
     "campaign_identity",
     "run_campaign_sharded",
+    "run_sharded",
 ]
 
 #: Test/instrumentation hook: called as ``hook(shard_index, attempt)``
-#: inside the shard's timeout guard, before simulation starts.
+#: inside the shard's timeout guard, before the shard's work starts.
 ShardHook = Callable[[int, int], None]
+
+#: A shard's work: ``task(lo, hi) -> {name: array}`` where every array's
+#: leading dimension is ``hi - lo``.  Must be picklable for ``jobs > 1``
+#: (build it with :func:`functools.partial` over a module-level function).
+ShardTask = Callable[[int, int], dict[str, np.ndarray]]
 
 
 class ShardTimeout(RuntimeError):
@@ -89,22 +104,39 @@ class ExecutorConfig:
     backoff: float = 0.5
 
 
+#: once-per-process latch for the "timeout unavailable" degradation warning
+_timeout_warned = False
+
+
 @contextlib.contextmanager
 def _deadline(seconds: float | None):
     """Raise :class:`ShardTimeout` if the body runs longer than ``seconds``.
 
     Uses ``SIGALRM``/``setitimer``, which works in the main thread of both
     the supervisor process (serial path) and pool worker processes (tasks
-    run in the worker's main thread).  Elsewhere — or without a timeout —
-    the body runs unguarded.
+    run in the worker's main thread).  Where that is unavailable — off the
+    main thread, or on a platform without ``SIGALRM`` (Windows) — a
+    requested timeout degrades to untimed execution with a one-time
+    warning rather than crashing or being silently dropped.
     """
+    global _timeout_warned
+    if seconds is None or seconds <= 0:
+        yield
+        return
     usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
+        if not _timeout_warned:
+            _timeout_warned = True
+            warnings.warn(
+                f"shard timeout of {seconds}s requested but SIGALRM is not "
+                "usable here (platform without it, or not the main thread); "
+                "shards will run without a wall-clock guard",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         yield
         return
 
@@ -142,15 +174,16 @@ def campaign_identity(
     }
 
 
-def _shard_arrays(
+def _campaign_task(
     design: ProtectedDesign,
-    specs: Sequence[FaultSpec],
+    specs: list[FaultSpec],
     key: int,
     seed: int,
+    chunk: int,
     lo: int,
     hi: int,
-    chunk: int,
 ) -> dict[str, np.ndarray]:
+    """Shard task of a fault campaign: simulate runs ``[lo, hi)``."""
     pt, rel, exp, flags = run_range(
         design, specs, key=key, seed=seed, lo=lo, hi=hi, chunk=chunk
     )
@@ -172,11 +205,11 @@ def _worker_init(payload: bytes) -> None:
 
 
 def _worker_shard(index: int, lo: int, hi: int, attempt: int):
-    design, specs, key, seed, chunk, timeout, hook = _WORKER_CTX["ctx"]
+    task, timeout, hook = _WORKER_CTX["ctx"]
     with _deadline(timeout):
         if hook is not None:
             hook(index, attempt)
-        return index, _shard_arrays(design, specs, key, seed, lo, hi, chunk)
+        return index, task(lo, hi)
 
 
 # ------------------------------------------------------------- supervisor
@@ -187,27 +220,26 @@ class _Supervisor:
 
     def __init__(
         self,
-        design: ProtectedDesign,
-        specs: Sequence[FaultSpec],
+        task: ShardTask,
         *,
-        key: int,
-        seed: int,
         ranges: list[tuple[int, int]],
         config: ExecutorConfig,
         store: CheckpointStore | None,
         shard_hook: ShardHook | None,
+        on_shard_done: Callable[[int, dict[str, np.ndarray]], object] | None,
     ) -> None:
-        self.design = design
-        self.specs = list(specs)
-        self.key = key
-        self.seed = seed
+        self.task = task
         self.ranges = ranges
         self.config = config
         self.store = store
         self.shard_hook = shard_hook
+        self.on_shard_done = on_shard_done
         self.results: dict[int, dict[str, np.ndarray]] = {}
         self.failures: dict[int, dict] = {}
         self.attempts: dict[int, int] = {}
+        #: set once ``on_shard_done`` asks to stop (fail-fast); remaining
+        #: shards are left pending, never marked failed
+        self.stopped = False
 
     # -- shared bookkeeping
 
@@ -216,6 +248,8 @@ class _Supervisor:
         if self.store is not None:
             self.store.shards[index].attempts = self.attempts[index]
             self.store.write_shard(index, arrays)
+        if self.on_shard_done is not None and self.on_shard_done(index, arrays):
+            self.stopped = True
 
     def _fail(self, index: int, exc: BaseException) -> None:
         lo, hi = self.ranges[index]
@@ -242,6 +276,8 @@ class _Supervisor:
 
     def run_serial(self, pending: list[int]) -> None:
         for index in pending:
+            if self.stopped:
+                return
             lo, hi = self.ranges[index]
             self.attempts[index] = 0
             while True:
@@ -250,10 +286,7 @@ class _Supervisor:
                     with _deadline(self.config.timeout):
                         if self.shard_hook is not None:
                             self.shard_hook(index, self.attempts[index])
-                        arrays = _shard_arrays(
-                            self.design, self.specs, self.key, self.seed,
-                            lo, hi, self.config.chunk,
-                        )
+                        arrays = self.task(lo, hi)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as exc:
@@ -269,13 +302,10 @@ class _Supervisor:
     def run_pool(self, pending: list[int]) -> None:
         cfg = self.config
         try:
-            payload = pickle.dumps(
-                (self.design, self.specs, self.key, self.seed,
-                 cfg.chunk, cfg.timeout, self.shard_hook)
-            )
+            payload = pickle.dumps((self.task, cfg.timeout, self.shard_hook))
         except Exception as exc:
             warnings.warn(
-                f"campaign executor: design/specs not picklable ({exc}); "
+                f"sharded executor: task not picklable ({exc}); "
                 "falling back to serial execution",
                 RuntimeWarning,
                 stacklevel=3,
@@ -289,14 +319,14 @@ class _Supervisor:
         in_flight: dict = {}
         pool: ProcessPoolExecutor | None = None
         try:
-            while queue or in_flight:
+            while (queue and not self.stopped) or in_flight:
                 if pool is None:
                     pool = ProcessPoolExecutor(
                         max_workers=cfg.jobs,
                         initializer=_worker_init,
                         initargs=(payload,),
                     )
-                while queue:
+                while queue and not self.stopped:
                     index = queue.pop(0)
                     self.attempts[index] += 1
                     lo, hi = self.ranges[index]
@@ -334,6 +364,102 @@ class _Supervisor:
                 pool.shutdown(wait=True, cancel_futures=True)
 
 
+# ---------------------------------------------------------- generic entry
+
+
+@dataclass
+class ShardedRun:
+    """What :func:`run_sharded` hands back to its caller."""
+
+    #: shard index → the arrays its task returned (checkpoint-verified on
+    #: resume); absent indices failed or were skipped after an early stop
+    results: dict[int, dict[str, np.ndarray]]
+    #: one record per dropped shard: index/lo/hi/attempts/error
+    failures: list[dict] = field(default_factory=list)
+    #: the (lo, hi) range of every shard, by index
+    ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: True when ``on_shard_done`` stopped the sweep before all shards ran
+    stopped_early: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.stopped_early and len(self.results) == len(self.ranges)
+
+    def merged(self, keys: Sequence[str]) -> dict[str, np.ndarray] | None:
+        """Concatenate surviving shards in index order (None if nothing ran)."""
+        survivors = sorted(self.results)
+        if not survivors:
+            return None
+        return {
+            k: np.concatenate([self.results[i][k] for i in survivors])
+            for k in keys
+        }
+
+
+def run_sharded(
+    task: ShardTask,
+    ranges: Sequence[tuple[int, int]],
+    *,
+    config: ExecutorConfig | None = None,
+    identity: dict | None = None,
+    keys: tuple[str, ...] = SHARD_KEYS,
+    shard_hook: ShardHook | None = None,
+    on_shard_done: Callable[[int, dict[str, np.ndarray]], object] | None = None,
+) -> ShardedRun:
+    """Execute ``task`` over ``ranges`` with supervision and checkpoints.
+
+    The workload-agnostic core of the executor: campaigns and the coverage
+    certifier both shard through here.  ``identity`` pins checkpoints to
+    one exact workload (resume refuses a mismatch with
+    :class:`~repro.faults.checkpoint.CheckpointError`); ``keys`` names the
+    arrays each shard produces.  ``on_shard_done(index, arrays)`` runs in
+    the supervisor process after each shard completes (and is persisted) —
+    returning a truthy value stops the sweep early, leaving the remaining
+    shards ``pending`` in the manifest (the certifier's fail-fast).
+    """
+    config = config or ExecutorConfig()
+    ranges = list(ranges)
+    supervisor = _Supervisor(
+        task,
+        ranges=ranges,
+        config=config,
+        store=None,
+        shard_hook=shard_hook,
+        on_shard_done=on_shard_done,
+    )
+    if config.checkpoint_dir is not None and ranges:
+        store = CheckpointStore(config.checkpoint_dir, keys=keys)
+        if config.resume and store.exists:
+            store.load(identity)
+            for index, record in store.shards.items():
+                arrays = store.read_shard(index)
+                if arrays is not None:
+                    supervisor.results[index] = arrays
+                    supervisor.attempts[index] = record.attempts
+                else:
+                    # missing/corrupt archive or a previously failed shard:
+                    # recompute it (deterministically) this time around
+                    record.status = "pending"
+                    record.error = ""
+            store.flush()
+        else:
+            store.create(identity or {}, ranges)
+        supervisor.store = store
+
+    pending = [i for i in range(len(ranges)) if i not in supervisor.results]
+    if config.jobs > 1 and len(pending) > 1:
+        supervisor.run_pool(pending)
+    else:
+        supervisor.run_serial(pending)
+
+    return ShardedRun(
+        results=supervisor.results,
+        failures=[supervisor.failures[i] for i in sorted(supervisor.failures)],
+        ranges=ranges,
+        stopped_early=supervisor.stopped,
+    )
+
+
 def run_campaign_sharded(
     design: ProtectedDesign,
     specs: Sequence[FaultSpec],
@@ -367,48 +493,17 @@ def run_campaign_sharded(
     ranges = [
         (lo, min(lo + shard_runs, n_runs)) for lo in range(0, n_runs, shard_runs)
     ]
-
-    store: CheckpointStore | None = None
-    supervisor = _Supervisor(
-        design,
-        specs,
-        key=key,
-        seed=seed,
-        ranges=ranges,
-        config=config,
-        store=None,
-        shard_hook=shard_hook,
+    task = functools.partial(
+        _campaign_task, design, list(specs), key, seed, config.chunk
     )
-    if config.checkpoint_dir is not None and ranges:
-        store = CheckpointStore(config.checkpoint_dir)
-        identity = campaign_identity(
-            design, specs, key=key, seed=seed, n_runs=n_runs, shard_runs=shard_runs
-        )
-        if config.resume and store.exists:
-            store.load(identity)
-            for index, record in store.shards.items():
-                arrays = store.read_shard(index)
-                if arrays is not None:
-                    supervisor.results[index] = arrays
-                    supervisor.attempts[index] = record.attempts
-                else:
-                    # missing/corrupt archive or a previously failed shard:
-                    # recompute it (deterministically) this time around
-                    record.status = "pending"
-                    record.error = ""
-            store.flush()
-        else:
-            store.create(identity, ranges)
-        supervisor.store = store
+    identity = campaign_identity(
+        design, specs, key=key, seed=seed, n_runs=n_runs, shard_runs=shard_runs
+    )
+    run = run_sharded(
+        task, ranges, config=config, identity=identity, shard_hook=shard_hook
+    )
 
-    pending = [i for i in range(len(ranges)) if i not in supervisor.results]
-    if config.jobs > 1 and len(pending) > 1:
-        supervisor.run_pool(pending)
-    else:
-        supervisor.run_serial(pending)
-
-    survivors = sorted(supervisor.results)
-    failures = [supervisor.failures[i] for i in sorted(supervisor.failures)]
+    failures = run.failures
     if failures:
         lost = sum(f["hi"] - f["lo"] for f in failures)
         warnings.warn(
@@ -418,12 +513,8 @@ def run_campaign_sharded(
             RuntimeWarning,
             stacklevel=2,
         )
-    if survivors:
-        merged = {
-            k: np.concatenate([supervisor.results[i][k] for i in survivors])
-            for k in SHARD_KEYS
-        }
-    else:
+    merged = run.merged(SHARD_KEYS)
+    if merged is None:
         merged = {
             "plaintext_bits": np.zeros((0, block), dtype=np.uint8),
             "released_bits": np.zeros((0, block), dtype=np.uint8),

@@ -65,10 +65,20 @@ class FaultInjector:
 
         self._always: dict[int, Transform] = {}
         self._windowed: dict[int, dict[int, Transform]] = {}
+        # Specs sharing a coupling group model ONE physical event touching
+        # several nets, so they must hit the same runs: the lane mask is
+        # drawn once per group (at the group's first occurrence in spec
+        # order, keeping the stream deterministic) and reused.
+        group_masks: dict[str, np.ndarray] = {}
         for spec in self.specs:
             if spec.probability < 1.0:
-                lanes = (rng.random(batch) < spec.probability).astype(np.uint8)
-                mask = pack_bits(lanes[:, None]).reshape(n_words)
+                if spec.group and spec.group in group_masks:
+                    mask = group_masks[spec.group]
+                else:
+                    lanes = (rng.random(batch) < spec.probability).astype(np.uint8)
+                    mask = pack_bits(lanes[:, None]).reshape(n_words)
+                    if spec.group:
+                        group_masks[spec.group] = mask
             else:
                 mask = None
             transform = _make_transform(spec, mask)

@@ -14,12 +14,23 @@ identical-mask DFA needs one fault per core) are just two entries.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.ciphers.spn import SpnCore
 
-__all__ = ["FaultType", "FaultSpec", "last_round", "sbox_input_net", "sbox_output_net"]
+__all__ = [
+    "FaultType",
+    "FaultSpec",
+    "FaultScenario",
+    "coupled_fault",
+    "identical_mask_fault",
+    "last_round",
+    "layer_glitch_fault",
+    "sbox_input_net",
+    "sbox_output_net",
+    "single_fault",
+]
 
 
 class FaultType(enum.Enum):
@@ -65,6 +76,10 @@ class FaultSpec:
     probability: float = 1.0
     #: free-form label carried into reports
     label: str = ""
+    #: coupling group: probabilistic specs sharing a non-empty group hit the
+    #: *same* subset of runs (one physical event touching several nets — the
+    #: identical-mask and coupled models need this)
+    group: str = ""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -76,13 +91,16 @@ class FaultSpec:
         Used by campaign persistence and the executor's checkpoint
         manifests, so loaded campaigns carry *real* specs, not reprs.
         """
-        return {
+        data = {
             "net": self.net,
             "fault_type": self.fault_type.to_dict(),
             "cycles": sorted(self.cycles) if self.cycles is not None else None,
             "probability": self.probability,
             "label": self.label,
         }
+        if self.group:  # omitted when empty so pre-existing manifests match
+            data["group"] = self.group
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSpec":
@@ -94,6 +112,7 @@ class FaultSpec:
             cycles=None if cycles is None else frozenset(int(c) for c in cycles),
             probability=float(data.get("probability", 1.0)),
             label=str(data.get("label", "")),
+            group=str(data.get("group", "")),
         )
 
     @staticmethod
@@ -104,6 +123,7 @@ class FaultSpec:
         *,
         probability: float = 1.0,
         label: str = "",
+        group: str = "",
     ) -> "FaultSpec":
         """Convenience constructor accepting a single cycle or an iterable."""
         if cycles is None:
@@ -112,7 +132,167 @@ class FaultSpec:
             window = frozenset((cycles,))
         else:
             window = frozenset(cycles)
-        return FaultSpec(net, fault_type, window, probability=probability, label=label)
+        return FaultSpec(
+            net,
+            fault_type,
+            window,
+            probability=probability,
+            label=label,
+            group=group,
+        )
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One *attack instance*: a named, replayable bundle of FaultSpecs.
+
+    The coverage certifier enumerates scenarios, not bare specs, because the
+    adversarial models beyond the paper's baseline hit several nets at once:
+    an identical-mask fault lands on corresponding nets of every core, a
+    clock glitch wipes a whole layer, a coupled fault bleeds into physical
+    neighbours.  ``model`` names which sweep family produced the scenario so
+    certificates can histogram per model.
+    """
+
+    #: sweep family: "single" | "identical_mask" | "layer_glitch" | "coupled"
+    model: str
+    specs: tuple[FaultSpec, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a FaultScenario needs at least one FaultSpec")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict embedding full spec dicts (certificate witnesses)."""
+        return {
+            "model": self.model,
+            "label": self.label,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultScenario":
+        return cls(
+            model=str(data["model"]),
+            specs=tuple(FaultSpec.from_dict(s) for s in data["specs"]),
+            label=str(data.get("label", "")),
+        )
+
+
+def single_fault(
+    net: int,
+    fault_type: FaultType,
+    cycles: Iterable[int] | int | None,
+    *,
+    probability: float = 1.0,
+    label: str = "",
+) -> FaultScenario:
+    """The paper's baseline model: one net, one corruption."""
+    return FaultScenario(
+        "single",
+        (FaultSpec.at(net, fault_type, cycles, probability=probability, label=label),),
+        label=label or f"single:{fault_type.value}@{net}",
+    )
+
+
+def identical_mask_fault(
+    nets: Sequence[int],
+    fault_type: FaultType,
+    cycles: Iterable[int] | int | None,
+    *,
+    probability: float = 1.0,
+    label: str = "",
+) -> FaultScenario:
+    """Selmke FDTC'16 generalised: one event hits corresponding nets of
+    *every* core with the identical corruption.
+
+    ``nets`` lists the same logical wire in each redundant core (e.g. bit 2
+    of S-box 13's input, in core 0 and core 1).  All specs share one
+    coupling group, so under ``probability < 1`` the event hits the same
+    runs in every core — a miss misses everywhere, exactly like a single
+    laser spot covering both placements.  This is the model that breaks
+    naive duplication (both cores wrong in the same way → comparator
+    blind) and that the complementary λ-encoding is designed to survive.
+    """
+    if len(nets) < 2:
+        raise ValueError("identical-mask fault needs one net per core (>= 2)")
+    label = label or f"idmask:{fault_type.value}@{'/'.join(map(str, nets))}"
+    return FaultScenario(
+        "identical_mask",
+        tuple(
+            FaultSpec.at(
+                net,
+                fault_type,
+                cycles,
+                probability=probability,
+                label=label,
+                group=label,
+            )
+            for net in nets
+        ),
+        label=label,
+    )
+
+
+def layer_glitch_fault(
+    nets: Sequence[int],
+    cycle: int,
+    *,
+    fault_type: FaultType = FaultType.BIT_FLIP,
+    label: str = "",
+) -> FaultScenario:
+    """Whole-layer clock glitch: every net of one layer corrupted in one cycle.
+
+    Models a shortened clock period — an entire combinational stage (all
+    S-box inputs of one core, say) latches garbage simultaneously.  The
+    default BIT_FLIP is the harshest deterministic choice; biased variants
+    model a glitch that only prevents rising transitions.
+    """
+    if not nets:
+        raise ValueError("layer glitch needs a non-empty layer")
+    label = label or f"glitch:{fault_type.value}@layer[{min(nets)}..{max(nets)}]"
+    return FaultScenario(
+        "layer_glitch",
+        tuple(
+            FaultSpec.at(net, fault_type, cycle, label=label) for net in nets
+        ),
+        label=label,
+    )
+
+
+def coupled_fault(
+    nets: Sequence[int],
+    fault_type: FaultType,
+    cycles: Iterable[int] | int | None,
+    *,
+    probability: float = 1.0,
+    label: str = "",
+) -> FaultScenario:
+    """Multi-net coupled fault: one event bleeds into physical neighbours.
+
+    Unlike the identical-mask model the nets live in the *same* core
+    (adjacent wires under one laser spot / EM probe).  Sharing a coupling
+    group keeps the per-run hit pattern common to all nets.
+    """
+    if len(nets) < 2:
+        raise ValueError("coupled fault needs >= 2 nets (use single_fault)")
+    label = label or f"coupled:{fault_type.value}@{'/'.join(map(str, nets))}"
+    return FaultScenario(
+        "coupled",
+        tuple(
+            FaultSpec.at(
+                net,
+                fault_type,
+                cycles,
+                probability=probability,
+                label=label,
+                group=label,
+            )
+            for net in nets
+        ),
+        label=label,
+    )
 
 
 def last_round(core: SpnCore) -> int:

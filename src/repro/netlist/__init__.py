@@ -9,9 +9,20 @@ word), which is what makes the paper's 80k-run fault campaigns feasible in
 pure Python.
 """
 
+from repro.netlist.analysis import LintError, LintReport, lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
-from repro.netlist.circuit import Circuit
+from repro.netlist.circuit import Circuit, CircuitError
 from repro.netlist.gates import Gate, GateType
 from repro.netlist.simulator import Simulator
 
-__all__ = ["Circuit", "CircuitBuilder", "Gate", "GateType", "Simulator"]
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "Gate",
+    "GateType",
+    "LintError",
+    "LintReport",
+    "Simulator",
+    "lint_countermeasure",
+]

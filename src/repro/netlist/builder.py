@@ -34,6 +34,18 @@ class CircuitBuilder:
         """Declare a named output port."""
         self.circuit.set_output(name, list(nets))
 
+    def build(self) -> Circuit:
+        """Finalise and return the circuit.
+
+        Runs :meth:`Circuit.validate` — multiply-driven nets, undriven
+        reads, combinational loops — so a wiring bug surfaces at build
+        time with a structured :class:`~repro.netlist.circuit.CircuitError`
+        naming the culprit, not later as a wrong simulation.  Every
+        generator in the repository finalises through here.
+        """
+        self.circuit.validate()
+        return self.circuit
+
     def const_word(self, value: int, width: int) -> Word:
         """A ``width``-bit constant word (shares the two CONST cells)."""
         return [self.circuit.const((value >> i) & 1) for i in range(width)]

@@ -20,7 +20,23 @@ from dataclasses import dataclass
 
 from repro.netlist.gates import SOURCE_TYPES, Gate, GateType
 
-__all__ = ["Circuit", "CircuitStats"]
+__all__ = ["Circuit", "CircuitError", "CircuitStats"]
+
+
+class CircuitError(ValueError):
+    """A structural invariant of a :class:`Circuit` is broken.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` call sites
+    keep working; carries the offending ``net`` and/or ``gate`` so lint
+    tooling and error messages can name the exact culprit.
+    """
+
+    def __init__(
+        self, message: str, *, net: int | None = None, gate: "Gate | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.net = net
+        self.gate = gate
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,11 +111,21 @@ class Circuit:
             out = self.new_net()
         for net in ins:
             if not 0 <= net < self._num_nets:
-                raise ValueError(f"gate input references unknown net {net}")
+                raise CircuitError(
+                    f"gate input references unknown net {net}", net=net
+                )
         if out in self._driver:
-            raise ValueError(f"net {out} already has a driver")
+            raise CircuitError(
+                f"net {out} already has a driver "
+                f"({self._driver[out].gtype.name}); refusing a second "
+                f"{gtype.name} driver",
+                net=out,
+                gate=self._driver[out],
+            )
         if not 0 <= out < self._num_nets:
-            raise ValueError(f"gate output references unknown net {out}")
+            raise CircuitError(
+                f"gate output references unknown net {out}", net=out
+            )
         gate = Gate(gtype, out, tuple(ins), init=init, tag=tag)
         self.gates.append(gate)
         self._driver[out] = gate
@@ -189,18 +215,39 @@ class Circuit:
         return [g for g in self.gates if g.tag.startswith(tag_prefix)]
 
     def validate(self) -> None:
-        """Check all structural invariants; raises ``ValueError`` on breakage."""
+        """Check all structural invariants; raises :class:`CircuitError`.
+
+        Checked here (beyond what :meth:`add_gate` enforces incrementally):
+        multiply-driven nets (possible when ``gates`` is mutated directly),
+        gate inputs and output ports reading undriven nets, and
+        combinational cycles — each reported with the offending gate/net.
+        """
+        driver_counts = Counter(g.out for g in self.gates)
+        for net, count in driver_counts.items():
+            if count > 1:
+                culprits = [g for g in self.gates if g.out == net]
+                kinds = "+".join(g.gtype.name for g in culprits)
+                raise CircuitError(
+                    f"net {net} is driven by {count} gates ({kinds})",
+                    net=net,
+                    gate=culprits[-1],
+                )
         for gate in self.gates:
             for net in gate.ins:
                 if net not in self._driver:
-                    raise ValueError(
-                        f"gate {gate.gtype.name}->{gate.out} reads undriven net {net}"
+                    raise CircuitError(
+                        f"gate {gate.gtype.name}->{gate.out} reads undriven "
+                        f"net {net}",
+                        net=net,
+                        gate=gate,
                     )
         for name, nets in self.outputs.items():
             for net in nets:
                 if net not in self._driver:
-                    raise ValueError(f"output {name!r} reads undriven net {net}")
-        # Raises on combinational cycles.
+                    raise CircuitError(
+                        f"output {name!r} reads undriven net {net}", net=net
+                    )
+        # Raises CircuitError on combinational cycles.
         self.topo_order()
 
     def __repr__(self) -> str:

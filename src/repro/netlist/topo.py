@@ -21,9 +21,9 @@ __all__ = ["combinational_order"]
 def combinational_order(circuit: "Circuit") -> list[Gate]:
     """Kahn's algorithm over the combinational gates of ``circuit``.
 
-    Raises ``ValueError`` naming one gate on a combinational cycle if the
-    circuit has one (a latch loop that the single-clock model cannot
-    evaluate).
+    Raises :class:`~repro.netlist.circuit.CircuitError` naming one gate on
+    a combinational cycle if the circuit has one (a latch loop that the
+    single-clock model cannot evaluate).
     """
     comb: list[Gate] = []
     available: set[int] = set()
@@ -60,10 +60,21 @@ def combinational_order(circuit: "Circuit") -> list[Gate]:
                 ready.append(follower)
 
     if len(order) != len(comb):
+        from repro.netlist.circuit import CircuitError
+
         ordered_ids = {id(g) for g in order}
-        stuck = next(g for g in comb if id(g) not in ordered_ids)
-        raise ValueError(
-            f"combinational cycle detected (involves {stuck.gtype.name} "
-            f"gate driving net {stuck.out})"
+        stuck_gates = [g for g in comb if id(g) not in ordered_ids]
+        stuck = stuck_gates[0]
+        cycle_nets = sorted(g.out for g in stuck_gates)
+        shown = ", ".join(map(str, cycle_nets[:8]))
+        if len(cycle_nets) > 8:
+            shown += ", ..."
+        raise CircuitError(
+            f"combinational cycle detected: {len(stuck_gates)} gates cannot "
+            f"be ordered (first: {stuck.gtype.name} driving net {stuck.out}"
+            f"{f', tag {stuck.tag!r}' if stuck.tag else ''}; "
+            f"nets involved: {shown})",
+            net=stuck.out,
+            gate=stuck,
         )
     return order

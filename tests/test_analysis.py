@@ -1,13 +1,19 @@
 """Structural analysis: cones, fanout, core independence of countermeasures."""
 
+import pytest
+
 from repro.netlist.analysis import (
+    LintError,
+    datapath_nets,
     fanin_cone,
     fanout_cone,
     fanout_map,
     gate_by_output,
+    lint_countermeasure,
     shared_logic,
 )
 from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gates import GateType
 
 
 def diamond():
@@ -96,3 +102,87 @@ class TestCountermeasureIndependence:
 
     def test_per_sbox_cores_independent(self, ours_per_sbox):
         self.assert_cores_independent(ours_per_sbox)
+
+
+# ------------------------------------------------------- countermeasure lint
+
+
+class _Probe:
+    """Minimal core stand-in: lint only reads ``ciphertext``."""
+
+    def __init__(self, ciphertext):
+        self.ciphertext = ciphertext
+
+
+class _Fixture:
+    """Minimal design stand-in: lint reads circuit, cores, scheme."""
+
+    def __init__(self, circuit, cores):
+        self.circuit = circuit
+        self.cores = cores
+        self.scheme = "fixture"
+
+
+def miswired_pair():
+    """Two 'cores' that illegally share their add-key XOR layer."""
+    b = CircuitBuilder("miswired")
+    pt = b.input("plaintext", 2)
+    key = b.input("key", 2)
+    shared = b.xor_word(pt, key, tag="addkey")  # one copy feeds both cores
+    c0 = [b.not_(n, tag="c0") for n in shared]
+    c1 = [b.not_(n, tag="c1") for n in shared]
+    fault = b.or_reduce(b.xor_word(c0, c1, tag="cmp"), tag="cmp/ortree")
+    b.output("ciphertext", c0)
+    b.output("fault", [fault])
+    return b.build(), shared, c0, c1
+
+
+class TestLintCountermeasure:
+    """The builders run this strictly; these tests pin what it enforces."""
+
+    def test_paper_variants_pass(
+        self, naive_design, acisp_design, ours_prime, triplication_design
+    ):
+        for design in (
+            naive_design, acisp_design, ours_prime, triplication_design
+        ):
+            report = lint_countermeasure(design)
+            assert report.passed, report.to_dict()
+            assert report.n_datapath > 0
+            assert report.to_dict()["passed"] is True
+
+    def test_shared_core_logic_detected(self):
+        circuit, shared, c0, c1 = miswired_pair()
+        design = _Fixture(circuit, [_Probe(c0), _Probe(c1)])
+        report = lint_countermeasure(design, strict=False)
+        assert set(shared) <= set(report.shared_nets)
+        assert not report.passed
+        with pytest.raises(LintError, match="share logic nets") as excinfo:
+            lint_countermeasure(design)
+        assert excinfo.value.net in report.shared_nets
+
+    def test_missing_fault_port_means_nothing_observable(self):
+        b = CircuitBuilder("noflag")
+        pt = b.input("plaintext", 2)
+        c0 = [b.not_(n, tag="c0") for n in pt]
+        b.output("ciphertext", c0)
+        design = _Fixture(b.build(), [_Probe(c0)])
+        report = lint_countermeasure(design, strict=False)
+        assert set(report.unobservable_nets) == set(c0)
+
+    def test_undriven_and_dangling_nets_detected(self):
+        circuit, shared, c0, c1 = miswired_pair()
+        orphan = circuit.new_net()  # allocated, never driven
+        a, bnet = circuit.inputs["plaintext"]
+        dangling = circuit.add_gate(GateType.AND, (a, bnet), tag="halfwired")
+        design = _Fixture(circuit, [_Probe(c0), _Probe(c1)])
+        report = lint_countermeasure(design, strict=False)
+        assert orphan in report.undriven_nets
+        assert dangling in report.dangling_nets
+
+    def test_datapath_excludes_inputs_and_backend(self, naive_design):
+        circuit = naive_design.circuit
+        nets = datapath_nets(circuit, naive_design.cores)
+        for port in circuit.inputs.values():
+            assert nets.isdisjoint(port)
+        assert circuit.outputs["fault"][0] not in nets

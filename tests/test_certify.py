@@ -1,0 +1,246 @@
+"""Coverage certifier: space enumeration, sampling, certificates, replay.
+
+Certify runs here use reduced-round PRESENT instances and small budgets —
+the full-scale sweeps live in ``benchmarks/bench_certify_coverage.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.certify import (
+    Certificate,
+    CertifyConfig,
+    certify_design,
+    enumerate_fault_space,
+    locations_for_budget,
+    replay_witness,
+)
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import build_naive_duplication, build_three_in_one
+from repro.faults.classification import Outcome
+from repro.netlist.gates import GateType
+
+KEY = 0x1A2B3C4D5E6F708192A3
+
+
+@pytest.fixture(scope="module")
+def spec2() -> PresentSpec:
+    return PresentSpec(rounds=2)
+
+
+@pytest.fixture(scope="module")
+def ours2(spec2):
+    return build_three_in_one(spec2)
+
+
+@pytest.fixture(scope="module")
+def naive2(spec2):
+    return build_naive_duplication(spec2)
+
+
+class TestSpace:
+    def test_per_model_counts(self, naive2):
+        space = enumerate_fault_space(naive2)
+        per = space.per_model()
+        # identical_mask: (64 sbox-in + 64 sbox-out + 64 state + 64 raw)
+        # per core, zipped across 2 cores -> 256 locations x 2 types x 2 rounds
+        assert per["identical_mask"] == 256 * 2 * 2
+        # layer_glitch: 2 layers x 2 cores x 2 types x 2 rounds
+        assert per["layer_glitch"] == 4 * 2 * 2
+        # coupled: 3 adjacent pairs per 4-bit word x 16 words x 2 cores
+        assert per["coupled"] == 96 * 3 * 2
+        assert space.total == sum(per.values())
+
+    def test_index_scenario_roundtrip(self, naive2):
+        space = enumerate_fault_space(naive2)
+        for index in (0, space.total // 2, space.total - 1):
+            scenario = space.scenario(index)
+            model, ftype, cycle = space.stratum(index)
+            assert scenario.model == model
+            assert all(s.fault_type.value == ftype for s in scenario.specs)
+            assert all(s.cycles == frozenset({cycle}) for s in scenario.specs)
+        with pytest.raises(IndexError):
+            space.scenario(space.total)
+
+    def test_digest_pins_the_enumeration(self, naive2):
+        full = enumerate_fault_space(naive2)
+        assert full.digest() == enumerate_fault_space(naive2).digest()
+        restricted = enumerate_fault_space(naive2, cycles=(1,))
+        assert restricted.digest() != full.digest()
+
+    def test_single_model_excludes_backend_and_inputs(self, naive2):
+        space = enumerate_fault_space(naive2, models=("single",))
+        nets = set(space.sections[0].locs)
+        circuit = naive2.circuit
+        for port in circuit.inputs.values():
+            assert nets.isdisjoint(port)
+        # The comparator OR-tree sits behind the redundancy boundary.
+        fault_net = circuit.outputs["fault"][0]
+        assert fault_net not in nets
+
+    def test_unknown_model_and_bad_cycle_raise(self, naive2):
+        with pytest.raises(ValueError, match="unknown fault models"):
+            enumerate_fault_space(naive2, models=("single", "laser"))
+        with pytest.raises(ValueError, match="cycles out of range"):
+            enumerate_fault_space(naive2, cycles=(99,))
+
+    def test_sample_is_deterministic_sorted_stratified(self, naive2):
+        space = enumerate_fault_space(naive2)
+        sample = space.sample(200, seed=9)
+        assert len(sample) == 200
+        assert len(np.unique(sample)) == 200
+        assert (np.sort(sample) == sample).all()
+        assert (space.sample(200, seed=9) == sample).all()
+        assert not (space.sample(200, seed=10) == sample).all()
+        # every model is represented (no corner silently skipped)
+        models = {space.stratum(int(i))[0] for i in sample}
+        assert models == set(space.per_model())
+
+    def test_sample_at_or_above_total_is_exhaustive(self, naive2):
+        space = enumerate_fault_space(naive2, models=("layer_glitch",))
+        assert (
+            space.sample(space.total, seed=1) == np.arange(space.total)
+        ).all()
+
+    def test_locations_for_budget(self):
+        assert locations_for_budget(100, 64) == 2
+        assert locations_for_budget(1, 64) == 1
+        with pytest.raises(ValueError):
+            locations_for_budget(0, 64)
+
+
+class TestCertify:
+    def test_three_in_one_small_budget_passes(self, ours2):
+        cert = certify_design(
+            ours2,
+            key=KEY,
+            config=CertifyConfig(budget=512, runs_per_location=16, seed=3),
+        )
+        assert cert.passed
+        assert not cert.witnesses
+        cov = cert.coverage
+        assert cov["runs_executed"] >= 512
+        assert cov["sampled"] and 0 < cov["fraction"] < 1
+        assert cov["locations_covered"] == cov["locations_planned"]
+        # histograms account for every classified run
+        total = sum(sum(h) for h in cert.histograms.values())
+        assert total == cov["runs_executed"]
+        assert len(cert.locations) == cov["locations_covered"]
+
+    def test_exhaustive_sweep_when_no_budget(self, ours2):
+        cert = certify_design(
+            ours2,
+            key=KEY,
+            config=CertifyConfig(
+                runs_per_location=8, models=("layer_glitch",), seed=3
+            ),
+        )
+        assert not cert.coverage["sampled"]
+        assert cert.coverage["fraction"] == 1.0
+        assert cert.coverage["locations_covered"] == cert.space["total"]
+
+    def test_naive_identical_mask_yields_replayable_witness(self, naive2):
+        cert = certify_design(
+            naive2,
+            key=KEY,
+            config=CertifyConfig(
+                budget=512,
+                runs_per_location=16,
+                models=("identical_mask",),
+                seed=3,
+            ),
+        )
+        assert cert.verdicts["dfa_detection"]["status"] == "fail"
+        assert not cert.passed
+        assert cert.witnesses
+        outcome, _ = replay_witness(naive2, cert.witnesses[0], key=KEY)
+        assert outcome is Outcome.EFFECTIVE
+
+    def test_certificate_roundtrips_through_json(self, ours2, tmp_path):
+        cert = certify_design(
+            ours2,
+            key=KEY,
+            config=CertifyConfig(
+                budget=128, runs_per_location=16, models=("coupled",), seed=3
+            ),
+        )
+        path = tmp_path / "cert.json"
+        cert.save(path)
+        loaded = Certificate.load(path)
+        assert loaded.render() == cert.render()
+        assert loaded.passed == cert.passed
+
+    def test_interrupted_resume_is_byte_identical(self, naive2, tmp_path):
+        kwargs = dict(
+            budget=384,
+            runs_per_location=16,
+            models=("identical_mask",),
+            seed=5,
+            shard_locations=4,
+        )
+        direct = certify_design(
+            naive2, key=KEY, config=CertifyConfig(**kwargs)
+        )
+        ck = tmp_path / "ck"
+        certify_design(
+            naive2, key=KEY, config=CertifyConfig(**kwargs, checkpoint_dir=ck)
+        )
+        # Simulate a crash that lost some shards mid-run.
+        shards = sorted(ck.glob("shard_*.npz"))
+        assert len(shards) > 2
+        shards[0].unlink()
+        shards[-1].unlink()
+        resumed = certify_design(
+            naive2,
+            key=KEY,
+            config=CertifyConfig(**kwargs, checkpoint_dir=ck, resume=True),
+        )
+        assert resumed.render(include_timing=False) == direct.render(
+            include_timing=False
+        )
+
+    def test_fail_fast_stops_scheduling(self, naive2):
+        cert = certify_design(
+            naive2,
+            key=KEY,
+            config=CertifyConfig(
+                budget=1024,
+                runs_per_location=16,
+                models=("identical_mask",),
+                seed=5,
+                shard_locations=2,
+                fail_fast=True,
+            ),
+        )
+        assert cert.witnesses
+        assert cert.coverage["stopped_early"]
+        assert (
+            cert.coverage["locations_covered"]
+            < cert.coverage["locations_planned"]
+        )
+
+    def test_miswired_design_fails_lint_and_skips_sweep(self, spec2):
+        design = build_naive_duplication(spec2)
+        # Sabotage after construction (the builder's own strict lint has
+        # already passed): a driven net that nothing reads or exposes.
+        circuit = design.circuit
+        a, b = circuit.inputs["plaintext"][:2]
+        circuit.add_gate(GateType.AND, (a, b), tag="sabotage")
+        cert = certify_design(
+            design, key=KEY, config=CertifyConfig(budget=64)
+        )
+        assert not cert.passed
+        assert cert.verdicts["structural_lint"]["status"] == "fail"
+        assert cert.verdicts["dfa_detection"]["status"] == "skipped"
+        assert cert.coverage["runs_executed"] == 0
+        assert cert.lint["dangling_nets"]
+
+    def test_sifa_verdict_not_applicable_without_lambda(self, naive2):
+        cert = certify_design(
+            naive2,
+            key=KEY,
+            config=CertifyConfig(
+                budget=64, runs_per_location=16, models=("coupled",), seed=3
+            ),
+        )
+        assert cert.verdicts["sifa_uniformity"]["status"] == "not_applicable"

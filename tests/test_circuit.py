@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.netlist.circuit import Circuit
-from repro.netlist.gates import GateType
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import Gate, GateType
 
 
 def xor_pair() -> Circuit:
@@ -138,3 +138,57 @@ class TestValidationAndStats:
 
     def test_repr_mentions_size(self):
         assert "3 gates" in repr(xor_pair())
+
+
+class TestStructuredErrors:
+    """CircuitError carries the offending net/gate for tooling."""
+
+    def test_multiply_driven_net_named(self):
+        c = xor_pair()
+        y = c.outputs["y"][0]
+        # Bypass add_gate's incremental guard by mutating the gate list —
+        # the scenario validate() exists to catch.
+        c.gates.append(Gate(GateType.BUF, y, (c.inputs["a"][0],)))
+        with pytest.raises(CircuitError, match="driven by 2 gates") as excinfo:
+            c.validate()
+        assert excinfo.value.net == y
+        assert excinfo.value.gate is not None
+
+    def test_combinational_cycle_names_gate_and_nets(self):
+        c = Circuit()
+        n1, n2 = c.new_net(), c.new_net()
+        c.add_gate(GateType.NOT, (n2,), out=n1, tag="loop/a")
+        c.add_gate(GateType.NOT, (n1,), out=n2, tag="loop/b")
+        with pytest.raises(CircuitError, match="combinational cycle") as excinfo:
+            c.validate()
+        assert excinfo.value.net in (n1, n2)
+        assert excinfo.value.gate.tag.startswith("loop/")
+
+    def test_undriven_gate_input_named(self):
+        c = Circuit()
+        a = c.add_input("a", 1)[0]
+        orphan = c.new_net()
+        gate_out = c.add_gate(GateType.AND, (a, orphan))
+        c.set_output("y", [gate_out])
+        with pytest.raises(CircuitError, match="undriven") as excinfo:
+            c.validate()
+        assert excinfo.value.net == orphan
+
+    def test_second_driver_rejected_at_add_time(self):
+        c = xor_pair()
+        y = c.outputs["y"][0]
+        with pytest.raises(CircuitError, match="already has a driver") as excinfo:
+            c.add_gate(GateType.BUF, (c.inputs["a"][0],), out=y)
+        assert excinfo.value.net == y
+
+    def test_builder_build_validates(self):
+        from repro.netlist.builder import CircuitBuilder
+
+        b = CircuitBuilder("bad")
+        a = b.input("a", 1)[0]
+        y = b.not_(a)
+        b.output("y", [y])
+        # Corrupt behind the builder's back; build() must still catch it.
+        b.circuit.gates.append(Gate(GateType.BUF, y, (a,)))
+        with pytest.raises(CircuitError, match="driven by 2 gates"):
+            b.build()

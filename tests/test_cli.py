@@ -60,3 +60,49 @@ class TestFastCommands:
         assert main(["sca", "--traces", "60"]) == 0
         out = capsys.readouterr().out
         assert "whole chip, HD: max|t| = 0.0" in out
+
+
+class TestCertifyCommand:
+    def test_parsing(self):
+        args = build_parser().parse_args(
+            ["certify", "--scheme", "naive", "--budget", "100",
+             "--models", "identical_mask", "--rounds", "2", "--fail-fast"]
+        )
+        assert args.scheme == "naive" and args.budget == 100
+        assert args.models == "identical_mask" and args.fail_fast
+
+    def test_certify_registered_in_help(self):
+        assert "certify" in build_parser().format_help()
+
+    def test_small_pass_run_writes_certificate(self, capsys, tmp_path):
+        out = tmp_path / "cert.json"
+        code = main(
+            ["certify", "--scheme", "three-in-one", "--rounds", "2",
+             "--budget", "128", "--runs-per-location", "16",
+             "--seed", "5", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "verdict dfa_detection: pass" in stdout
+        assert out.exists()
+
+    def test_witness_run_exits_nonzero(self, capsys):
+        code = main(
+            ["certify", "--scheme", "naive", "--rounds", "2",
+             "--budget", "64", "--runs-per-location", "16",
+             "--models", "identical_mask", "--seed", "5"]
+        )
+        assert code == 1
+        assert "witnesses:" in capsys.readouterr().out
+
+    def test_checkpoint_mismatch_exits_3(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        base = ["certify", "--scheme", "three-in-one", "--rounds", "2",
+                "--runs-per-location", "16", "--models", "coupled",
+                "--seed", "5", "--checkpoint-dir", str(ck)]
+        assert main(base + ["--budget", "64"]) == 0
+        capsys.readouterr()
+        code = main(base + ["--budget", "128", "--resume"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "checkpoint mismatch" in err and "budget" in err

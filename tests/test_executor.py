@@ -303,3 +303,126 @@ class TestCheckpointIntegrity:
         for index, record in store.shards.items():
             arrays = store.read_shard(index)
             assert shard_digest(arrays) == record.digest
+
+
+class TestDeadlineFallback:
+    """Timeouts degrade gracefully where SIGALRM cannot be armed."""
+
+    def test_non_main_thread_degrades_with_one_warning(self):
+        import threading
+        import warnings
+
+        from repro.faults import executor as ex
+
+        results: list = []
+
+        def body():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with ex._deadline(0.01):
+                    results.append("ran")
+                with ex._deadline(0.01):
+                    results.append("ran again")
+            results.append([str(w.message) for w in caught])
+
+        saved = ex._timeout_warned
+        ex._timeout_warned = False
+        try:
+            thread = threading.Thread(target=body)
+            thread.start()
+            thread.join()
+        finally:
+            ex._timeout_warned = saved
+        assert results[:2] == ["ran", "ran again"]
+        messages = results[2]
+        assert len(messages) == 1  # warned once, not per shard
+        assert "SIGALRM" in messages[0]
+        assert "without a wall-clock guard" in messages[0]
+
+    def test_no_timeout_means_no_guard(self):
+        from repro.faults import executor as ex
+
+        for seconds in (None, 0, -1):
+            with ex._deadline(seconds):
+                pass
+
+
+class TestGenericRunSharded:
+    """run_sharded carries arbitrary tasks/keys (the certifier rides this)."""
+
+    def test_custom_keys_and_merge(self, tmp_path):
+        from repro.faults.executor import run_sharded
+
+        def task(lo, hi):
+            idx = np.arange(lo, hi, dtype=np.int64)
+            return {"index": idx, "square": idx * idx}
+
+        ranges = [(0, 3), (3, 7), (7, 10)]
+        run = run_sharded(
+            task,
+            ranges,
+            config=ExecutorConfig(checkpoint_dir=tmp_path / "ck"),
+            identity={"kind": "squares"},
+            keys=("index", "square"),
+        )
+        assert run.complete and not run.stopped_early
+        merged = run.merged(("index", "square"))
+        assert merged["index"].tolist() == list(range(10))
+        assert merged["square"].tolist() == [i * i for i in range(10)]
+
+        # a resume with the same identity replays from checkpoints
+        resumed = run_sharded(
+            task,
+            ranges,
+            config=ExecutorConfig(checkpoint_dir=tmp_path / "ck", resume=True),
+            identity={"kind": "squares"},
+            keys=("index", "square"),
+        )
+        again = resumed.merged(("index", "square"))
+        assert (again["square"] == merged["square"]).all()
+
+    def test_on_shard_done_stops_scheduling(self):
+        from repro.faults.executor import run_sharded
+
+        def task(lo, hi):
+            return {"x": np.arange(lo, hi, dtype=np.int64)}
+
+        seen: list[int] = []
+
+        def stop_at_first(index, arrays):
+            seen.append(index)
+            return True
+
+        run = run_sharded(
+            task,
+            [(0, 2), (2, 4), (4, 6)],
+            keys=("x",),
+            on_shard_done=stop_at_first,
+        )
+        assert run.stopped_early
+        assert len(seen) == 1
+        assert len(run.results) == 1
+
+    def test_mismatched_keys_rejected_on_resume(self, tmp_path):
+        from repro.faults.executor import run_sharded
+
+        def task(lo, hi):
+            return {"x": np.arange(lo, hi, dtype=np.int64)}
+
+        run_sharded(
+            task,
+            [(0, 2)],
+            config=ExecutorConfig(checkpoint_dir=tmp_path / "ck"),
+            identity={"kind": "k"},
+            keys=("x",),
+        )
+        with pytest.raises(CheckpointError, match="keys"):
+            run_sharded(
+                lambda lo, hi: {"y": np.arange(lo, hi, dtype=np.int64)},
+                [(0, 2)],
+                config=ExecutorConfig(
+                    checkpoint_dir=tmp_path / "ck", resume=True
+                ),
+                identity={"kind": "k"},
+                keys=("y",),
+            )

@@ -8,7 +8,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSpec, FaultType, last_round
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.simulator import Simulator
-from repro.utils.bits import unpack_bits
+from repro.utils.bits import unpack_bits, words_for
+
+_ALL_ONES_WORD = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
 
 
 class TestFaultSpec:
@@ -182,3 +184,102 @@ class TestCampaign:
         vals = res.nibble(res.released_bits, 3)
         rel = res.released_ints()
         assert vals.tolist() == [(v >> 12) & 0xF for v in rel]
+
+
+class TestInfectedEdgeCases:
+    """INFECTED classification corners (infective recovery mode)."""
+
+    def test_wrong_flagged_word_is_infected(self):
+        released = np.array([[1, 1]], dtype=np.uint8)
+        expected = np.array([[1, 0]], dtype=np.uint8)
+        flags = np.array([1], dtype=np.uint8)
+        out = classify(released, flags, expected, infective=True)
+        assert out[0] == Outcome.INFECTED
+
+    def test_all_zero_released_word_is_not_special(self):
+        # An all-zero release is a wrong word like any other — flagged it
+        # is INFECTED, unflagged it is a genuine EFFECTIVE bypass.
+        released = np.zeros((2, 4), dtype=np.uint8)
+        expected = np.array([[1, 0, 1, 0], [1, 0, 1, 0]], dtype=np.uint8)
+        flags = np.array([1, 0], dtype=np.uint8)
+        out = classify(released, flags, expected, infective=True)
+        assert out.tolist() == [Outcome.INFECTED, Outcome.EFFECTIVE]
+
+    def test_flag_with_correct_word_stays_ineffective_when_infective(self):
+        # The infection mask happened to be zero (or the fault vanished):
+        # the attacker sees the correct word, so it is INEFFECTIVE — the
+        # flag alone must not promote it to INFECTED.
+        released = np.array([[1, 0]], dtype=np.uint8)
+        expected = np.array([[1, 0]], dtype=np.uint8)
+        flags = np.array([1], dtype=np.uint8)
+        out = classify(released, flags, expected, infective=True)
+        assert out[0] == Outcome.INEFFECTIVE
+
+    def test_all_zero_expected_and_released_is_ineffective(self):
+        released = np.zeros((1, 4), dtype=np.uint8)
+        expected = np.zeros((1, 4), dtype=np.uint8)
+        flags = np.array([0], dtype=np.uint8)
+        out = classify(released, flags, expected, infective=True)
+        assert out[0] == Outcome.INEFFECTIVE
+
+
+class TestProbabilisticLaneMasks:
+    """Per-run lane masks: deterministic per seed, shared per group."""
+
+    def _mask_bits(self, injector, net, batch, dtype):
+        ones = np.full(words_for(batch), _ALL_ONES_WORD, dtype=np.uint64)
+        transform = injector.for_cycle(0)[net]
+        hit = unpack_bits((~transform(ones)).reshape(1, -1), batch)[:, 0]
+        return hit.astype(dtype)
+
+    @pytest.mark.parametrize("batch", [1, 63, 64, 65, 200])
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int64, bool])
+    def test_mask_deterministic_across_rebuilds(self, batch, dtype):
+        spec = FaultSpec.at(0, FaultType.STUCK_AT_0, 0, probability=0.5)
+        b = CircuitBuilder()
+        x = b.input("x", 1)
+        b.output("y", [b.buf(x[0])])
+        masks = [
+            self._mask_bits(FaultInjector([spec], batch, rng=7), 0, batch, dtype)
+            for _ in range(2)
+        ]
+        assert (masks[0] == masks[1]).all()
+        different = self._mask_bits(
+            FaultInjector([spec], batch, rng=8), 0, batch, dtype
+        )
+        if batch >= 64:  # tiny batches can collide by chance
+            assert not (masks[0] == different).all()
+
+    def test_grouped_specs_share_one_lane_mask(self):
+        batch = 256
+        grouped = [
+            FaultSpec.at(0, FaultType.STUCK_AT_0, 0, probability=0.5, group="evt"),
+            FaultSpec.at(1, FaultType.STUCK_AT_0, 0, probability=0.5, group="evt"),
+        ]
+        injector = FaultInjector(grouped, batch, rng=3)
+        m0 = self._mask_bits(injector, 0, batch, np.uint8)
+        m1 = self._mask_bits(injector, 1, batch, np.uint8)
+        assert (m0 == m1).all()
+
+    def test_ungrouped_specs_draw_independent_masks(self):
+        batch = 256
+        loose = [
+            FaultSpec.at(0, FaultType.STUCK_AT_0, 0, probability=0.5),
+            FaultSpec.at(1, FaultType.STUCK_AT_0, 0, probability=0.5),
+        ]
+        injector = FaultInjector(loose, batch, rng=3)
+        m0 = self._mask_bits(injector, 0, batch, np.uint8)
+        m1 = self._mask_bits(injector, 1, batch, np.uint8)
+        assert not (m0 == m1).all()
+
+    def test_group_mask_reused_at_every_active_cycle(self):
+        batch = 128
+        specs = [
+            FaultSpec.at(0, FaultType.BIT_FLIP, (0, 3), probability=0.5, group="g"),
+            FaultSpec.at(1, FaultType.BIT_FLIP, (0, 3), probability=0.5, group="g"),
+        ]
+        injector = FaultInjector(specs, batch, rng=11)
+        for cycle in (0, 3):
+            table = injector.for_cycle(cycle)
+            assert set(table) == {0, 1}
+        assert injector.for_cycle(1) == {}
