@@ -69,6 +69,10 @@ class CertifyConfig:
     fail_fast: bool = False
     #: locations per executor shard
     shard_locations: int = 64
+    #: simulation kernel for the sweep ("levelized"/"reference"; None =
+    #: simulator default).  Bit-exact either way — a certificate's verdict
+    #: never depends on the backend, only its wall-clock does.
+    backend: str | None = None
     # -- resilient-executor passthrough
     jobs: int = 1
     checkpoint_dir: object = None
@@ -87,6 +91,7 @@ def _certify_task(
     runs: int,
     flag_observable: bool,
     infective: bool,
+    backend: str | None,
     lo: int,
     hi: int,
 ) -> dict[str, np.ndarray]:
@@ -97,7 +102,8 @@ def _certify_task(
     for row, index in enumerate(sel):
         scenario = space.scenario(int(index))
         _, rel, exp, flags = run_range(
-            design, scenario.specs, key=key, seed=seed, lo=0, hi=runs
+            design, scenario.specs, key=key, seed=seed, lo=0, hi=runs,
+            backend=backend,
         )
         outcomes = classify(
             rel, flags, exp, flag_observable=flag_observable, infective=infective
@@ -235,6 +241,7 @@ def certify_design(
         runs,
         flag_observable,
         infective,
+        config.backend,
     )
     run = run_sharded(
         task,

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro certify --scheme three-in-one --budget 50000 --out cert.json
     python -m repro sca    --traces 500
     python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
+    python -m repro fig4 --runs 4000 --backend reference   # per-gate oracle kernel
 
 Each subcommand prints the same artefact the corresponding benchmark
 produces; the CLI exists so a reader can poke at the reproduction without
@@ -60,6 +61,7 @@ def _cmd_fig4(args) -> int:
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        backend=args.backend,
     )
     print(f"Fig. 4 — stuck-at-0 at S-box {fig.target_sbox} bit {fig.target_bit}, "
           f"last round, {args.runs} runs")
@@ -81,6 +83,7 @@ def _cmd_fig5(args) -> int:
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        backend=args.backend,
     )
     print(f"Fig. 5 — identical stuck-at-0 at S-box {fig.target_sbox} bit "
           f"{fig.target_bit} in both computations, {args.runs} runs")
@@ -194,6 +197,7 @@ def _cmd_certify(args) -> int:
         cycles=tuple(int(c) for c in args.cycles.split(",")) if args.cycles else None,
         seed=args.seed,
         fail_fast=args.fail_fast,
+        backend=args.backend,
         jobs=args.jobs or 1,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
@@ -214,13 +218,23 @@ def _cmd_encrypt(args) -> int:
     key = int(args.key, 0)
     pt = int(args.pt, 0)
     design = build_three_in_one(PresentSpec())
-    sim = design.simulator(1)
+    sim = design.simulator(1, backend=args.backend)
     result = design.run(sim, [pt], key, rng=args.seed)
     ct = sum(int(b) << i for i, b in enumerate(result["ciphertext"][0]))
     print(f"protected netlist ciphertext: {ct:016x}")
     print(f"reference ciphertext:         {Present80(key).encrypt(pt):016x}")
     print(f"fault flag: {int(result['fault'][0])}")
     return 0 if ct == Present80(key).encrypt(pt) else 1
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.netlist.simulator import BACKENDS
+
+    parser.add_argument(
+        "--backend", default=None, choices=list(BACKENDS),
+        help="simulation kernel: levelized (fast, default) or reference "
+        "(per-gate oracle); results are bit-identical",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
                 "--resume", action="store_true",
                 help="reuse completed shards from --checkpoint-dir",
             )
+        if name in ("fig4", "fig5"):
+            _add_backend_arg(p)
         p.set_defaults(fn=fn)
 
     psca = sub.add_parser("sca", help="side-channel λ-leakage assessment")
@@ -302,12 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
     pcert.add_argument("--checkpoint-dir", default=None)
     pcert.add_argument("--resume", action="store_true")
     pcert.add_argument("--out", default=None, help="write the certificate JSON here")
+    _add_backend_arg(pcert)
     pcert.set_defaults(fn=_cmd_certify)
 
     penc = sub.add_parser("encrypt", help="one protected encryption vs the spec")
     penc.add_argument("--key", default="0x0123456789abcdef0123")
     penc.add_argument("--pt", default="0xcafebabedeadbeef")
     penc.add_argument("--seed", type=int, default=1)
+    _add_backend_arg(penc)
     penc.set_defaults(fn=_cmd_encrypt)
     return parser
 

@@ -73,9 +73,16 @@ class ProtectedDesign:
         """Clock cycles per encryption."""
         return self.spec.rounds
 
-    def simulator(self, batch: int, *, faults=None) -> Simulator:
-        """A fresh simulator sized for ``batch`` parallel invocations."""
-        return Simulator(self.circuit, batch, faults=faults)
+    def simulator(
+        self, batch: int, *, faults=None, backend: str | None = None
+    ) -> Simulator:
+        """A fresh simulator sized for ``batch`` parallel invocations.
+
+        ``backend`` selects the evaluation kernel (``"levelized"`` /
+        ``"reference"``); None uses the simulator default.  Results are
+        bit-identical either way.
+        """
+        return Simulator(self.circuit, batch, faults=faults, backend=backend)
 
     def run(
         self,

@@ -85,6 +85,7 @@ def _series_single_fault(
     jobs: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> SchemeSeries:
     specs = []
     cores = design.cores if both_cores else design.cores[:1]
@@ -108,6 +109,7 @@ def _series_single_fault(
         jobs=jobs,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        backend=backend,
     )
     dist = ineffective_distribution(result, spec, sbox)
     return SchemeSeries(
@@ -140,6 +142,7 @@ def figure4(
     jobs: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> Figure4Data:
     """Regenerate Fig. 4 (single-core stuck-at-0, SIFA bias).
 
@@ -161,6 +164,7 @@ def figure4(
         jobs=jobs,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        backend=backend,
     )
     ours = _series_single_fault(
         build_three_in_one(spec),
@@ -174,6 +178,7 @@ def figure4(
         jobs=jobs,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        backend=backend,
     )
     return Figure4Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours
@@ -191,6 +196,7 @@ def figure5(
     jobs: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
+    backend: str | None = None,
 ) -> Figure5Data:
     """Regenerate Fig. 5 (identical stuck-at-0 in both computations).
 
@@ -210,6 +216,7 @@ def figure5(
         jobs=jobs,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        backend=backend,
     )
     ours = _series_single_fault(
         build_three_in_one(spec),
@@ -223,6 +230,7 @@ def figure5(
         jobs=jobs,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        backend=backend,
     )
     return Figure5Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours

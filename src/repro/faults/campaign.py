@@ -74,6 +74,7 @@ def run_range(
     lo: int,
     hi: int,
     chunk: int = 1 << 15,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Simulate runs ``[lo, hi)`` of the campaign keyed by ``seed``.
 
@@ -82,6 +83,8 @@ def run_range(
     path and every executor shard; per-block RNG keying makes the output
     independent of how the range is batched (``chunk`` is rounded down to a
     whole number of RNG blocks and only bounds simulator memory).
+    ``backend`` selects the simulation kernel; like ``chunk`` it never
+    affects the bits (the backends are bit-exact by contract), only speed.
     """
     block = design.spec.block_bits
     chunk = max(RNG_BLOCK, chunk - chunk % RNG_BLOCK)
@@ -99,11 +102,11 @@ def run_range(
         pts_bits = random_bits(rng, batch, block)
         pts = bits_to_ints(pts_bits)
 
-        clean_sim = design.simulator(batch)
+        clean_sim = design.simulator(batch, backend=backend)
         clean = design.run(clean_sim, pts, key, rng=rng)
 
         injector = FaultInjector(specs, batch, rng=rng)
-        fault_sim = design.simulator(batch, faults=injector)
+        fault_sim = design.simulator(batch, faults=injector, backend=backend)
         faulted = design.run(fault_sim, pts, key, rng=rng)
 
         pt_parts.append(pts_bits)
@@ -248,6 +251,7 @@ def run_campaign(
     timeout: float | None = None,
     retries: int = 2,
     backoff: float = 0.5,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Execute a fault campaign against ``design``.
 
@@ -260,8 +264,10 @@ def run_campaign(
     **Determinism contract:** the result arrays depend only on
     ``(design, specs, key, seed, n_runs)``.  All randomness is drawn from
     per-block substreams keyed by ``(seed, run_index // RNG_BLOCK)``, so
-    ``chunk``, ``jobs``, ``shard_runs`` and crash/resume history affect
-    only memory and wall-clock, never the bits.
+    ``chunk``, ``jobs``, ``shard_runs``, ``backend`` and crash/resume
+    history affect only memory and wall-clock, never the bits (simulator
+    backends are bit-exact against each other; checkpoints are therefore
+    backend-agnostic).
 
     When any of ``jobs > 1``, ``shard_runs``, ``checkpoint_dir`` or
     ``resume`` is given the campaign is delegated to the resilient sharded
@@ -299,6 +305,7 @@ def run_campaign(
             seed=seed,
             flag_observable=flag_observable,
             config=config,
+            backend=backend,
         )
 
     block = design.spec.block_bits
@@ -308,7 +315,14 @@ def run_campaign(
         pt, rel, exp, flags = empty_word, empty_word, empty_word, empty_flag
     else:
         pt, rel, exp, flags = run_range(
-            design, specs, key=key, seed=seed, lo=0, hi=n_runs, chunk=chunk
+            design,
+            specs,
+            key=key,
+            seed=seed,
+            lo=0,
+            hi=n_runs,
+            chunk=chunk,
+            backend=backend,
         )
     outcomes = classify(
         rel, flags, exp, flag_observable=flag_observable, infective=infective

@@ -180,12 +180,14 @@ def _campaign_task(
     key: int,
     seed: int,
     chunk: int,
+    backend: str | None,
     lo: int,
     hi: int,
 ) -> dict[str, np.ndarray]:
     """Shard task of a fault campaign: simulate runs ``[lo, hi)``."""
     pt, rel, exp, flags = run_range(
-        design, specs, key=key, seed=seed, lo=lo, hi=hi, chunk=chunk
+        design, specs, key=key, seed=seed, lo=lo, hi=hi, chunk=chunk,
+        backend=backend,
     )
     return {
         "plaintext_bits": pt,
@@ -470,6 +472,7 @@ def run_campaign_sharded(
     flag_observable: bool | None = None,
     config: ExecutorConfig | None = None,
     shard_hook: ShardHook | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Run a campaign through the resilient sharded executor.
 
@@ -478,6 +481,10 @@ def run_campaign_sharded(
     checkpointed, resumable and parallel; see the module docstring.
     ``shard_hook`` is an instrumentation point used by the tests to inject
     shard failures/delays; it must be picklable when ``jobs > 1``.
+    ``backend`` selects the simulation kernel inside each shard; it is
+    deliberately excluded from the checkpoint identity because backends
+    are bit-exact — a campaign checkpointed under one backend may be
+    resumed under the other.
     """
     from repro.countermeasures.base import RecoveryPolicy
 
@@ -494,7 +501,7 @@ def run_campaign_sharded(
         (lo, min(lo + shard_runs, n_runs)) for lo in range(0, n_runs, shard_runs)
     ]
     task = functools.partial(
-        _campaign_task, design, list(specs), key, seed, config.chunk
+        _campaign_task, design, list(specs), key, seed, config.chunk, backend
     )
     identity = campaign_identity(
         design, specs, key=key, seed=seed, n_runs=n_runs, shard_runs=shard_runs

@@ -13,16 +13,22 @@ from repro.netlist.analysis import LintError, LintReport, lint_countermeasure
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.circuit import Circuit, CircuitError
 from repro.netlist.gates import Gate, GateType
-from repro.netlist.simulator import Simulator
+from repro.netlist.levelized import LevelizedKernel, LevelSchedule, compile_schedule
+from repro.netlist.simulator import BACKENDS, DEFAULT_BACKEND, Simulator
 
 __all__ = [
+    "BACKENDS",
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
+    "DEFAULT_BACKEND",
     "Gate",
     "GateType",
+    "LevelSchedule",
+    "LevelizedKernel",
     "LintError",
     "LintReport",
     "Simulator",
+    "compile_schedule",
     "lint_countermeasure",
 ]

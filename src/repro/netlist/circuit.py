@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.netlist.gates import SOURCE_TYPES, Gate, GateType
+from repro.netlist.gates import Gate, GateType
 
 __all__ = ["Circuit", "CircuitError", "CircuitStats"]
 
@@ -77,6 +77,7 @@ class Circuit:
         self._driver: dict[int, Gate] = {}
         self._const_net: dict[GateType, int] = {}
         self._topo_cache: list[Gate] | None = None
+        self._levels_cache: list[list[Gate]] | None = None
 
     # ------------------------------------------------------------------ nets
 
@@ -130,6 +131,7 @@ class Circuit:
         self.gates.append(gate)
         self._driver[out] = gate
         self._topo_cache = None
+        self._levels_cache = None
         return out
 
     def const(self, value: int) -> int:
@@ -184,18 +186,24 @@ class Circuit:
             self._topo_cache = combinational_order(self)
         return self._topo_cache
 
+    def topo_levels(self) -> list[list[Gate]]:
+        """Combinational gates grouped into dependency levels (ASAP).
+
+        Gates within one level have no data dependencies on each other;
+        flattening the levels reproduces a valid topological order.  This
+        is the schedule skeleton of the levelized simulation kernel (see
+        :mod:`repro.netlist.levelized`).  Cached until the circuit is
+        mutated, like :meth:`topo_order`.
+        """
+        if self._levels_cache is None:
+            from repro.netlist.topo import combinational_levels
+
+            self._levels_cache = combinational_levels(self)
+        return self._levels_cache
+
     def depth(self) -> int:
         """Longest combinational path, in gates."""
-        level: dict[int, int] = {}
-        for gate in self.gates:
-            if gate.gtype in SOURCE_TYPES or gate.gtype is GateType.DFF:
-                level[gate.out] = 0
-        deepest = 0
-        for gate in self.topo_order():
-            lvl = 1 + max((level.get(n, 0) for n in gate.ins), default=0)
-            level[gate.out] = lvl
-            deepest = max(deepest, lvl)
-        return deepest
+        return len(self.topo_levels())
 
     def stats(self) -> CircuitStats:
         """Structural summary (cell histogram, depth, port counts)."""

@@ -12,10 +12,19 @@ simulator applies each transform to the net's packed value at the moment the
 net is produced (source nets at the start of the cycle, gate outputs right
 after evaluation).  This mirrors VerFI's semantics: the corrupted value is
 seen by the entire fanout, including flip-flop D pins, within that cycle.
+
+Two interchangeable evaluation kernels implement those semantics: the
+per-gate *reference* interpreter in this module (the executable spec) and
+the levelized opcode-batched kernel of :mod:`repro.netlist.levelized`
+(the fast default), selectable via ``Simulator(..., backend=...)`` or the
+``REPRO_SIM_BACKEND`` environment variable.  They are bit-exact against
+each other — enforced by the differential property suite in
+``tests/test_simulator_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Mapping, Sequence
 from typing import Protocol
 
@@ -25,9 +34,33 @@ from repro.netlist.circuit import Circuit
 from repro.netlist.gates import GateType
 from repro.utils.bits import pack_bits, unpack_bits, words_for
 
-__all__ = ["FaultProvider", "Simulator"]
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FaultProvider",
+    "Simulator",
+    "resolve_backend",
+]
 
 Transform = Callable[[np.ndarray], np.ndarray]
+
+#: selectable evaluation kernels: the per-gate reference interpreter (the
+#: semantic oracle) and the levelized opcode-batched kernel (the fast path)
+BACKENDS = ("levelized", "reference")
+
+#: default backend; overridable process-wide via ``REPRO_SIM_BACKEND``
+DEFAULT_BACKEND = "levelized"
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalise a backend selection (None → env override → default)."""
+    if backend is None:
+        backend = os.environ.get("REPRO_SIM_BACKEND") or DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 
 class FaultProvider(Protocol):
@@ -75,6 +108,31 @@ class Simulator:
     faults:
         Optional :class:`FaultProvider`; may also be swapped later via
         :attr:`faults` (e.g. between campaign phases).
+    backend:
+        ``"levelized"`` (default) evaluates the circuit with the
+        opcode-batched level kernel (:mod:`repro.netlist.levelized`);
+        ``"reference"`` uses the per-gate interpreter below, which is the
+        executable definition of the simulation semantics and the oracle
+        the levelized kernel is differentially tested against.  ``None``
+        honours the ``REPRO_SIM_BACKEND`` environment variable.  Both
+        backends are bit-exact for every net, batch size and fault map.
+
+    Fault-ordering contract (shared by both backends)
+    -------------------------------------------------
+    Within one :meth:`eval_comb` call, effects apply in exactly this
+    order:
+
+    1. input schedules (:meth:`set_input_schedule`) drive their ports;
+    2. fault transforms on *source* nets (primary inputs, constants, DFF
+       outputs) are applied to the scheduled/latched values;
+    3. gates evaluate in program order, and a faulted gate output's
+       transform is applied the moment that gate's value is produced —
+       before any consumer reads it — so multiple faults along one path
+       compose in program order.
+
+    A transform on a DFF's D-pin net is a fault on whatever gate drives
+    that net, and is therefore seen both by that net's combinational
+    fanout and by the flip-flop latching at the next :meth:`step`.
 
     Usage::
 
@@ -91,12 +149,14 @@ class Simulator:
         batch: int,
         *,
         faults: FaultProvider | None = None,
+        backend: str | None = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.batch = batch
         self.n_words = words_for(batch)
         self.faults = faults
+        self.backend = resolve_backend(backend)
         self.cycle = 0
 
         # opcode program: (op, out, in0, in1, in2)
@@ -123,6 +183,12 @@ class Simulator:
             | {g.out for g in circuit.gates if g.gtype is GateType.INPUT}
             | set(int(q) for q in self._dff_q)
         )
+
+        self._kernel = None
+        if self.backend == "levelized":
+            from repro.netlist.levelized import LevelizedKernel, compile_schedule
+
+            self._kernel = LevelizedKernel(compile_schedule(circuit), self.n_words)
 
         self._schedules: dict[str, object] = {}
         self._vals = np.zeros((circuit.num_nets, self.n_words), dtype=np.uint64)
@@ -199,8 +265,9 @@ class Simulator:
     def eval_comb(self) -> None:
         """Evaluate the combinational program for the current cycle.
 
-        Fault transforms registered for this cycle are applied to source
-        nets first, then to each gate output as it is produced, so the
+        Follows the fault-ordering contract in the class docstring: input
+        schedules first, then source-net transforms, then the program
+        with gate-output transforms applied in program order, so the
         corrupted value propagates exactly as a physical glitch would.
         """
         for name, provider in self._schedules.items():
@@ -214,6 +281,9 @@ class Simulator:
                 transform = fault_map.get(net)
                 if transform is not None:
                     vals[net] = transform(vals[net])
+        if self._kernel is not None:
+            self._kernel.run(vals, fault_map if fault_map else None)
+        elif fault_map:
             self._run_program_faulty(fault_map)
         else:
             self._run_program_clean()

@@ -15,7 +15,7 @@ from repro.netlist.gates import SOURCE_TYPES, Gate, GateType
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netlist.circuit import Circuit
 
-__all__ = ["combinational_order"]
+__all__ = ["combinational_levels", "combinational_order"]
 
 
 def combinational_order(circuit: "Circuit") -> list[Gate]:
@@ -78,3 +78,26 @@ def combinational_order(circuit: "Circuit") -> list[Gate]:
             gate=stuck,
         )
     return order
+
+
+def combinational_levels(circuit: "Circuit") -> list[list[Gate]]:
+    """ASAP levelization of the combinational gates of ``circuit``.
+
+    Level ``k`` holds every gate whose longest path from a source
+    (primary input, constant, or DFF output) is exactly ``k + 1`` gates.
+    Gates within one level therefore never depend on each other, which is
+    what lets the levelized simulation kernel evaluate a whole level as a
+    handful of batched numpy ops.  Within a level, gates keep their
+    :func:`combinational_order` relative order, so flattening the levels
+    yields a valid topological order.  ``len(levels)`` equals the
+    circuit's combinational depth.
+    """
+    level_of: dict[int, int] = {}
+    levels: list[list[Gate]] = []
+    for gate in combinational_order(circuit):
+        lvl = max((level_of.get(n, -1) for n in gate.ins), default=-1) + 1
+        level_of[gate.out] = lvl
+        if lvl == len(levels):
+            levels.append([])
+        levels[lvl].append(gate)
+    return levels
