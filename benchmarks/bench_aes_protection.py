@@ -8,7 +8,7 @@ campaigns demonstrating the security properties carry over — including
 the MixColumns inversion-transparency that makes AES support non-obvious.
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_report, emit
 from repro.ciphers.netlist_aes import AesSpec
 from repro.countermeasures import build_naive_duplication, build_three_in_one
 from repro.evaluation import render_table
@@ -71,4 +71,18 @@ def test_aes_protection(benchmark, artifact_dir):
         title=f"AES-128 under the countermeasure ({N_RUNS} runs per campaign)",
     )
     emit(artifact_dir, "aes_protection.txt", text)
+    bench_report(
+        artifact_dir,
+        "aes_protection",
+        config={"runs": N_RUNS, "cipher": "aes128"},
+        metrics={
+            "naive_ge": naive_area.total,
+            "ours_ge": ours_area.total,
+            "area_ratio": round(ratio, 3),
+            "identical_fault_bypasses_naive": outcomes["naive"].count(Outcome.EFFECTIVE),
+            "identical_fault_bypasses_ours": outcomes["ours"].count(Outcome.EFFECTIVE),
+            "identical_fault_detections_ours": outcomes["ours"].count(Outcome.DETECTED),
+            "single_fault_bypasses_ours": single_res.count(Outcome.EFFECTIVE),
+        },
+    )
     benchmark.extra_info["aes_ratio"] = round(ratio, 3)

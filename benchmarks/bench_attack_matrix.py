@@ -16,7 +16,7 @@ adversary, so both read "protected" here, and the residual statistical
 difference between constructions is examined in bench_variants_ablation.
 """
 
-from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, campaign_knobs, emit
 from repro.evaluation import render_table
 from repro.evaluation.matrix import run_attack_matrix
 
@@ -52,3 +52,12 @@ def test_attack_matrix(benchmark, artifact_dir, bench_runs):
         title=f"Attack x scheme key-recovery matrix ({n_runs} campaign runs)",
     )
     emit(artifact_dir, "attack_matrix.txt", text)
+    bench_report(
+        artifact_dir,
+        "attack_matrix",
+        config={"runs": n_runs},
+        metrics={
+            label: {attack: cells[attack].success for attack in cells}
+            for label, cells in matrix.items()
+        },
+    )

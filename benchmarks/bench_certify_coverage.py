@@ -8,7 +8,7 @@ certificate form: three-in-one earns a passing certificate with zero
 identical-mask model and every recorded witness replays exactly.
 """
 
-from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, campaign_knobs, emit
 from repro.certify import CertifyConfig, certify_design, replay_witness
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_naive_duplication, build_three_in_one
@@ -80,3 +80,19 @@ def test_certify_coverage(benchmark, artifact_dir):
     emit(artifact_dir, "certify_coverage.txt", text)
     ours.save(artifact_dir / "certificate_three_in_one.json")
     naive.save(artifact_dir / "certificate_naive.json")
+    bench_report(
+        artifact_dir,
+        "certify_coverage",
+        config={
+            "budget": BUDGET,
+            "runs_per_location": RUNS_PER_LOCATION,
+            "rounds": ROUNDS,
+        },
+        metrics={
+            "ours_passed": ours.passed,
+            "ours_runs_executed": ours.coverage["runs_executed"],
+            "ours_witnesses": len(ours.witnesses),
+            "naive_witnesses": len(naive.witnesses),
+            "naive_dfa_status": naive.verdicts["dfa_detection"]["status"],
+        },
+    )

@@ -10,7 +10,7 @@ encoding doing its job on every wire.
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, emit
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_three_in_one
 from repro.evaluation import render_table
@@ -67,3 +67,19 @@ def test_fault_coverage(benchmark, artifact_dir):
         title="Exhaustive S-box-wire fault coverage (three-in-one, PRESENT-80)",
     )
     emit(artifact_dir, "fault_coverage.txt", text)
+    bench_report(
+        artifact_dir,
+        "fault_coverage",
+        config={
+            "runs_per_point": RUNS_PER_POINT,
+            "fault_types": [ft.value for ft in FAULT_TYPES],
+            "rounds": list(ROUNDS),
+        },
+        metrics={
+            "points": points,
+            "bypasses": bypasses,
+            "ineffective_rate_mean": round(float(rates.mean()), 4),
+            "ineffective_rate_min": round(float(rates.min()), 4),
+            "ineffective_rate_max": round(float(rates.max()), 4),
+        },
+    )

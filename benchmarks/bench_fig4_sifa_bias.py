@@ -8,7 +8,7 @@ prints them as histograms, and additionally runs the actual SIFA key
 ranking to show the bias is (and stops being) *exploitable*.
 """
 
-from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, campaign_knobs, emit
 from repro.attacks import sifa_attack
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_naive_duplication, build_three_in_one
@@ -49,6 +49,17 @@ def test_figure4(benchmark, artifact_dir, bench_runs):
         ),
     ]
     emit(artifact_dir, "figure4.txt", "\n\n".join(parts))
+    bench_report(
+        artifact_dir,
+        "fig4",
+        config={"runs": bench_runs, "sbox": fig.target_sbox, "bit": fig.target_bit},
+        metrics={
+            "naive_sei": round(fig.naive.sei, 6),
+            "ours_sei": round(fig.ours.sei, 7),
+            "naive_support": int((fig.naive.distribution > 0).sum()),
+            "ours_support": int((fig.ours.distribution > 0).sum()),
+        },
+    )
     benchmark.extra_info["naive_sei"] = round(fig.naive.sei, 5)
     benchmark.extra_info["ours_sei"] = round(fig.ours.sei, 6)
 
@@ -91,3 +102,16 @@ def test_figure4_key_recovery(benchmark, artifact_dir, bench_runs):
                 f"best=0x{r.best_guess:x} true=0x{r.true_subkey:x}"
             )
     emit(artifact_dir, "figure4_key_recovery.txt", "\n".join(lines))
+    bench_report(
+        artifact_dir,
+        "fig4_key_recovery",
+        config={"runs": n_runs, "sbox": 7, "bit": 1},
+        metrics={
+            label: {
+                "success": atk.success,
+                "samples": atk.n_samples,
+                "recovered_bits": atk.recovered_bits,
+            }
+            for label, atk in results.items()
+        },
+    )

@@ -10,7 +10,7 @@ The benchmark regenerates both campaigns and then runs the end-to-end
 Selmke DFA to show the released bias actually yields the subkey.
 """
 
-from benchmarks.conftest import BENCH_KEY, campaign_knobs, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, campaign_knobs, emit
 from repro.attacks import selmke_attack
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_acisp20, build_naive_duplication, build_three_in_one
@@ -50,6 +50,16 @@ def test_figure5(benchmark, artifact_dir, bench_runs):
         ),
     ]
     emit(artifact_dir, "figure5.txt", "\n\n".join(parts))
+    bench_report(
+        artifact_dir,
+        "fig5",
+        config={"runs": bench_runs, "sbox": fig.target_sbox, "bit": fig.target_bit},
+        metrics={
+            "naive_bypasses": fig.naive.faulty_released,
+            "ours_bypasses": fig.ours.faulty_released,
+            "ours_detections": fig.ours.counts["detected"],
+        },
+    )
     benchmark.extra_info["naive_bypasses"] = fig.naive.faulty_released
     benchmark.extra_info["ours_bypasses"] = fig.ours.faulty_released
 
@@ -88,3 +98,15 @@ def test_figure5_selmke_dfa(benchmark, artifact_dir, bench_runs):
                 f"true=0x{res.dfa.true_subkey:x} success={res.success}"
             )
     emit(artifact_dir, "figure5_selmke.txt", "\n".join(lines))
+    bench_report(
+        artifact_dir,
+        "fig5_selmke",
+        config={"runs": n_runs, "sbox": 5, "bit": 1},
+        metrics={
+            label: {
+                "success": res.success,
+                "faulty_released": res.n_faulty_released,
+            }
+            for label, res in results.items()
+        },
+    )

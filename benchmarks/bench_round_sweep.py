@@ -10,7 +10,7 @@ checks the two invariants that make the claim true on our substrate:
   uniform regardless of the round).
 """
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, emit
 from repro.evaluation import render_table
 from repro.evaluation.matrix import run_round_sweep
 
@@ -37,3 +37,14 @@ def test_round_sweep(benchmark, artifact_dir, bench_runs):
         ),
     )
     emit(artifact_dir, "round_sweep.txt", text)
+    bench_report(
+        artifact_dir,
+        "round_sweep",
+        config={"runs": n_runs},
+        metrics={
+            "rounds_swept": len(rows),
+            "max_bypasses": max(max(r[2], r[4]) for r in rows),
+            "ours_ineff_min": min(r[3] for r in rows),
+            "ours_ineff_max": max(r[3] for r in rows),
+        },
+    )

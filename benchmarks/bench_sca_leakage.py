@@ -16,7 +16,7 @@ full trace count and prints the verdict table; the asserted findings:
 
 import numpy as np
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_report, emit
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_three_in_one
 from repro.evaluation import render_table
@@ -88,3 +88,14 @@ def test_sca_lambda_leakage(benchmark, artifact_dir):
         ),
     )
     emit(artifact_dir, "sca_leakage.txt", text)
+    bench_report(
+        artifact_dir,
+        "sca_leakage",
+        config={"traces": N_TRACES, "threshold": TVLA_THRESHOLD},
+        metrics={
+            f"{exp} | {probe} | {model}": (
+                "inf" if np.isinf(t) else round(float(t), 3)
+            )
+            for exp, probe, model, t in rows
+        },
+    )

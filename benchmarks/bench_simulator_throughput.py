@@ -13,10 +13,9 @@ raison d'être: ≥5× over the reference on protected PRESENT-80 at
 batch 4096.
 """
 
-import json
 import time
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, emit
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_three_in_one
 from repro.rng import make_rng, random_ints
@@ -44,6 +43,12 @@ def test_protected_encrypt_throughput(benchmark, artifact_dir):
         ),
     )
     benchmark.extra_info["encryptions_per_second"] = int(per_second)
+    bench_report(
+        artifact_dir,
+        "throughput",
+        config={"batch": batch, "gates": gates, "cycles": 31},
+        metrics={"encryptions_per_second": int(per_second)},
+    )
     assert per_second > 1000  # sanity floor: campaigns stay in seconds
 
 
@@ -99,18 +104,20 @@ def test_backend_batch_sweep(artifact_dir):
         by_key[("reference", SPEEDUP_BATCH)]["seconds"]
         / by_key[("levelized", SPEEDUP_BATCH)]["seconds"]
     )
-    report = {
-        "design": "three-in-one protected PRESENT-80",
-        "comb_gates": gates,
-        "cycles": cycles,
-        "sweep": rows,
-        "speedup_at_4096": round(speedup, 2),
-        "speedup_floor": SPEEDUP_FLOOR,
-    }
-    emit(
+    bench_report(
         artifact_dir,
-        "BENCH_simulator.json",
-        json.dumps(report, indent=2),
+        "simulator",
+        config={
+            "design": "three-in-one protected PRESENT-80",
+            "comb_gates": gates,
+            "cycles": cycles,
+            "batch_sweep": BATCH_SWEEP,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        metrics={
+            "sweep": rows,
+            "speedup_at_4096": round(speedup, 2),
+        },
     )
     lines = [
         f"  {r['backend']:>9}  batch={r['batch']:>5}  "

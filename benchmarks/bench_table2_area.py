@@ -12,7 +12,7 @@ overhead far below triplication's 1.5×-over-duplication.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_report, emit
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_triplication
 from repro.evaluation import render_table, table2
@@ -49,4 +49,17 @@ def test_table2(benchmark, artifact_dir):
         title="Table II: PRESENT-80 encryption area (paper: 3096 -> 4097 GE, 1.32x)",
     )
     emit(artifact_dir, "table2.txt", text)
+    bench_report(
+        artifact_dir,
+        "table2",
+        config={"cipher": "present80"},
+        metrics={
+            "naive_ge": naive.total,
+            "ours_ge": ours.total,
+            "ours_ratio": round(ours.ratio, 3),
+            "triplication_ge": trip.total,
+            "paper_ours_ge": ours.paper_total,
+            "paper_ours_ratio": ours.paper_ratio,
+        },
+    )
     benchmark.extra_info["ours_ratio"] = round(ours.ratio, 3)

@@ -11,7 +11,7 @@ layer, with AES relatively cheaper than PRESENT because the 9-input merged
 box shares more logic — is asserted on the ratios.
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_report, emit
 from repro.evaluation import render_table, table3
 
 
@@ -43,5 +43,17 @@ def test_table3(benchmark, artifact_dir):
         ),
     )
     emit(artifact_dir, "table3.txt", text)
+    bench_report(
+        artifact_dir,
+        "table3",
+        config={"ciphers": ["present", "aes"]},
+        metrics={
+            f"{r.countermeasure}/{r.cipher}": {
+                "total_ge": r.total,
+                "ratio": round(r.ratio, 3),
+            }
+            for r in rows
+        },
+    )
     benchmark.extra_info["present_ratio"] = round(present_ratio, 3)
     benchmark.extra_info["aes_ratio"] = round(aes_ratio, 3)

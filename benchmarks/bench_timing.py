@@ -8,7 +8,7 @@ model and asserts the stretch stays modest (the merged S-box is exactly one
 Shannon variable deeper than the plain one).
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_report, emit
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import (
     LambdaVariant,
@@ -56,3 +56,12 @@ def test_timing(benchmark, artifact_dir):
         title="Latency: critical path and cycle count per design",
     )
     emit(artifact_dir, "timing.txt", text)
+    bench_report(
+        artifact_dir,
+        "timing",
+        config={"delay_model": "nangate_nand2_norm"},
+        metrics={
+            label: {"raw_delay": raw, "mapped_delay": mapped, "cycles": cycles}
+            for label, raw, mapped, cycles in rows
+        },
+    )

@@ -11,7 +11,7 @@
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_KEY, emit
+from benchmarks.conftest import BENCH_KEY, bench_report, emit
 from repro.attacks.fta import build_templates, fta_targets
 from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import LambdaVariant, build_three_in_one
@@ -59,6 +59,15 @@ def test_entropy_variants(benchmark, artifact_dir):
         title="Three-in-one entropy variants (PRESENT-80)",
     )
     emit(artifact_dir, "variants_entropy.txt", text)
+    bench_report(
+        artifact_dir,
+        "variants_entropy",
+        config={"cipher": "present80"},
+        metrics={
+            variant: {"total_ge": total, "trng_bits": trng}
+            for variant, _, _, total, trng in rows
+        },
+    )
 
 
 def residual_fta_information(construction: str) -> float:
@@ -119,3 +128,12 @@ def test_merged_sbox_constructions(benchmark, artifact_dir):
         ),
     )
     emit(artifact_dir, "variants_merged_sbox.txt", text)
+    bench_report(
+        artifact_dir,
+        "variants_merged_sbox",
+        config={"sbox": "present"},
+        metrics={
+            c: {"area_ge": a, "residual_fta_bits": round(float(i), 4)}
+            for c, a, i in rows
+        },
+    )

@@ -23,10 +23,13 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
+
+from repro.telemetry import run_manifest
 
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "80000"))
 BENCH_KEY = 0x8F4E2D1C0B5A69783746
@@ -75,3 +78,24 @@ def emit(artifact_dir: pathlib.Path, name: str, text: str) -> None:
     """Print an artefact and persist it under benchmarks/out/."""
     print(f"\n{text}\n")
     (artifact_dir / name).write_text(text + "\n")
+
+
+def bench_report(
+    artifact_dir: pathlib.Path, name: str, *, config: dict, metrics: dict
+) -> pathlib.Path:
+    """Persist a benchmark's machine-readable result as ``BENCH_<name>.json``.
+
+    Every benchmark writes the same four-field document — ``name``, the
+    inputs that shaped the run (``config``), the measured numbers
+    (``metrics``), and the environment ``manifest`` (git rev, python/numpy
+    versions, timestamp) — so CI can archive and diff them uniformly.
+    """
+    path = artifact_dir / f"BENCH_{name}.json"
+    report = {
+        "name": name,
+        "config": config,
+        "metrics": metrics,
+        "manifest": run_manifest(kind="bench", bench=name),
+    }
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -38,6 +38,7 @@ from repro.faults.classification import Outcome, classify
 from repro.faults.executor import ExecutorConfig, run_sharded
 from repro.faults.models import FaultScenario
 from repro.netlist.analysis import lint_countermeasure
+from repro.telemetry import metrics, run_manifest, trace
 
 __all__ = ["CERTIFY_KEYS", "CertifyConfig", "certify_design", "replay_witness"]
 
@@ -112,6 +113,8 @@ def _certify_task(
         effective = np.flatnonzero(outcomes == Outcome.EFFECTIVE)
         if effective.size:
             witness[row] = effective[0]
+    metrics.inc("certify.locations_swept", len(sel))
+    metrics.inc("certify.runs_executed", len(sel) * runs)
     return {"index": sel, "counts": counts, "witness_run": witness}
 
 
@@ -149,10 +152,20 @@ def certify_design(
     infective = design.policy is RecoveryPolicy.INFECTIVE
     runs = config.runs_per_location
 
-    lint = lint_countermeasure(design, strict=False)
-    space = enumerate_fault_space(
-        design, models=config.models, cycles=config.cycles
+    manifest = run_manifest(
+        kind="certify",
+        scheme=design.scheme,
+        variant=design.variant,
+        backend=config.backend,
+        jobs=config.jobs,
+        seed=config.seed,
     )
+    with trace.span("certify.lint", scheme=design.scheme):
+        lint = lint_countermeasure(design, strict=False)
+    with trace.span("certify.enumerate", scheme=design.scheme):
+        space = enumerate_fault_space(
+            design, models=config.models, cycles=config.cycles
+        )
     space_doc = {
         "total": space.total,
         "per_model": space.per_model(),
@@ -199,7 +212,10 @@ def certify_design(
                 "dfa_detection": dict(skipped),
                 "sifa_uniformity": dict(skipped),
             },
-            timing={"wall_time_s": round(time.time() - started, 3)},
+            timing={
+                "wall_time_s": round(time.time() - started, 3),
+                "manifest": manifest,
+            },
         )
 
     if config.budget is not None:
@@ -243,22 +259,30 @@ def certify_design(
         infective,
         config.backend,
     )
-    run = run_sharded(
-        task,
-        ranges,
-        config=ExecutorConfig(
-            jobs=config.jobs,
-            chunk=max(runs, 1),
-            checkpoint_dir=config.checkpoint_dir,
-            resume=config.resume,
-            timeout=config.timeout,
-            retries=config.retries,
-            backoff=config.backoff,
-        ),
-        identity=identity,
-        keys=CERTIFY_KEYS,
-        on_shard_done=_shard_found_witness if config.fail_fast else None,
-    )
+    with trace.span(
+        "certify.sweep",
+        scheme=design.scheme,
+        locations=int(len(indices)),
+        shards=len(ranges),
+        jobs=config.jobs,
+    ):
+        run = run_sharded(
+            task,
+            ranges,
+            config=ExecutorConfig(
+                jobs=config.jobs,
+                chunk=max(runs, 1),
+                checkpoint_dir=config.checkpoint_dir,
+                resume=config.resume,
+                timeout=config.timeout,
+                retries=config.retries,
+                backoff=config.backoff,
+            ),
+            identity=identity,
+            keys=CERTIFY_KEYS,
+            on_shard_done=_shard_found_witness if config.fail_fast else None,
+            label=f"certify[{design.scheme}]",
+        )
 
     merged = run.merged(CERTIFY_KEYS)
     if merged is None:
@@ -335,7 +359,10 @@ def certify_design(
         ],
         witnesses=witnesses,
         verdicts=verdicts,
-        timing={"wall_time_s": round(time.time() - started, 3)},
+        timing={
+            "wall_time_s": round(time.time() - started, 3),
+            "manifest": manifest,
+        },
     )
     return certificate
 

@@ -21,6 +21,7 @@ learning the library API first.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 __all__ = ["main"]
@@ -227,6 +228,18 @@ def _cmd_encrypt(args) -> int:
     return 0 if ct == Present80(key).encrypt(pt) else 1
 
 
+def _cmd_stats(args) -> int:
+    from repro.telemetry.stats import TraceError, load_trace, render_stats, summarize
+
+    try:
+        records = load_trace(args.trace_file)
+    except (OSError, TraceError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    print(render_stats(summarize(records), top=args.top))
+    return 0
+
+
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     from repro.netlist.simulator import BACKENDS
 
@@ -237,15 +250,46 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """Parent parser: observability flags shared by every subcommand.
+
+    Result tables and histograms stay on stdout; diagnostics go through
+    :mod:`logging` on stderr (``-v`` → DEBUG, ``-q`` → errors only) and,
+    with ``--trace``, every span/event/metric of the run is appended to a
+    JSONL trace readable by ``repro stats``.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log DEBUG diagnostics to stderr",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="log errors only (overrides -v)",
+    )
+    group.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append a JSONL trace of this run (inspect with 'repro stats')",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the DATE'21 'Feeding Three Birds' evaluation.",
     )
+    common = _common_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table2", help="Table II: PRESENT-80 design areas").set_defaults(fn=_cmd_table2)
-    p3 = sub.add_parser("table3", help="Table III: S-box layer areas")
+    p2 = sub.add_parser(
+        "table2", help="Table II: PRESENT-80 design areas", parents=[common]
+    )
+    p2.set_defaults(fn=_cmd_table2)
+    p3 = sub.add_parser(
+        "table3", help="Table III: S-box layer areas", parents=[common]
+    )
     p3.add_argument("--no-aes", action="store_true", help="skip the AES rows (faster)")
     p3.set_defaults(fn=_cmd_table3)
 
@@ -255,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("matrix", _cmd_matrix, 16_000, "attack x scheme key-recovery matrix"),
         ("sweep", _cmd_sweep, 10_000, "fault-round sweep"),
     ):
-        p = sub.add_parser(name, help=help_)
+        p = sub.add_parser(name, help=help_, parents=[common])
         p.add_argument("--runs", type=int, default=default_runs)
         p.add_argument("--seed", type=int, default=4)
         if name != "sweep":
@@ -275,13 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
             _add_backend_arg(p)
         p.set_defaults(fn=fn)
 
-    psca = sub.add_parser("sca", help="side-channel λ-leakage assessment")
+    psca = sub.add_parser(
+        "sca", help="side-channel λ-leakage assessment", parents=[common]
+    )
     psca.add_argument("--traces", type=int, default=300)
     psca.set_defaults(fn=_cmd_sca)
 
     pcert = sub.add_parser(
         "certify",
         help="sweep the single-fault space and emit a coverage certificate",
+        parents=[common],
     )
     pcert.add_argument(
         "--scheme", default="three-in-one",
@@ -321,12 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(pcert)
     pcert.set_defaults(fn=_cmd_certify)
 
-    penc = sub.add_parser("encrypt", help="one protected encryption vs the spec")
+    penc = sub.add_parser(
+        "encrypt", help="one protected encryption vs the spec", parents=[common]
+    )
     penc.add_argument("--key", default="0x0123456789abcdef0123")
     penc.add_argument("--pt", default="0xcafebabedeadbeef")
     penc.add_argument("--seed", type=int, default=1)
     _add_backend_arg(penc)
     penc.set_defaults(fn=_cmd_encrypt)
+
+    pstats = sub.add_parser(
+        "stats",
+        help="summarize a JSONL trace recorded with --trace",
+        parents=[common],
+    )
+    pstats.add_argument("trace_file", help="trace file written by --trace")
+    pstats.add_argument(
+        "--top", type=int, default=15, help="span names to show (by total time)"
+    )
+    pstats.set_defaults(fn=_cmd_stats)
     return parser
 
 
@@ -334,10 +394,59 @@ def build_parser() -> argparse.ArgumentParser:
 EXIT_CHECKPOINT_MISMATCH = 3
 
 
+class _LiveStderrHandler(logging.StreamHandler):
+    """A stderr handler that resolves ``sys.stderr`` at emit time.
+
+    The CLI can be driven in-process (tests, notebooks) where stderr is
+    swapped per call; pinning the stream at configure time would leave
+    the logger writing to a closed capture file.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+def _configure_logging(args) -> None:
+    """Route diagnostics to stderr at the verbosity the flags ask for.
+
+    Results stay on stdout untouched; only :mod:`logging` output (shard
+    retries, timeout degradations, partial-campaign warnings) is affected.
+    Propagation stays on so embedding applications (and pytest's caplog)
+    still observe the records.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    handler = _LiveStderrHandler()
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger = logging.getLogger("repro")
+    logger.handlers[:] = [handler]
+    logger.setLevel(level)
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.faults.checkpoint import CheckpointError
+    from repro.telemetry import metrics, run_manifest, trace
 
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        trace.configure(
+            trace_path,
+            manifest=run_manifest(
+                kind="cli", command=args.command, argv=list(argv or sys.argv[1:])
+            ),
+        )
     try:
         return args.fn(args)
     except CheckpointError as exc:
@@ -351,6 +460,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return EXIT_CHECKPOINT_MISMATCH
+    finally:
+        if trace_path:
+            trace.close(final_metrics=metrics.snapshot())
 
 
 if __name__ == "__main__":  # pragma: no cover

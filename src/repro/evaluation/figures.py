@@ -31,6 +31,7 @@ from repro.countermeasures import build_naive_duplication, build_three_in_one
 from repro.countermeasures.base import ProtectedDesign
 from repro.faults import FaultSpec, FaultType, Outcome, run_campaign
 from repro.faults.models import last_round, sbox_input_net
+from repro.telemetry import trace
 
 __all__ = ["Figure4Data", "Figure5Data", "SchemeSeries", "figure4", "figure5"]
 
@@ -100,17 +101,25 @@ def _series_single_fault(
     if checkpoint_dir is not None:
         # one campaign per scheme → one sub-directory per scheme
         checkpoint_dir = Path(checkpoint_dir) / design.scheme
-    result = run_campaign(
-        design,
-        specs,
+    with trace.span(
+        "figures.series",
+        scheme=design.scheme,
+        sbox=sbox,
+        bit=bit,
         n_runs=n_runs,
-        key=key,
-        seed=seed,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        backend=backend,
-    )
+        both_cores=both_cores,
+    ):
+        result = run_campaign(
+            design,
+            specs,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            backend=backend,
+        )
     dist = ineffective_distribution(result, spec, sbox)
     return SchemeSeries(
         scheme=design.scheme,
@@ -152,34 +161,37 @@ def figure4(
     """
     spec = spec or PresentSpec()
     checkpoint_dir = Path(checkpoint_dir) / "fig4" if checkpoint_dir else None
-    naive = _series_single_fault(
-        build_naive_duplication(spec),
-        spec,
-        target_sbox,
-        target_bit,
-        n_runs=n_runs,
-        key=key,
-        seed=seed,
-        both_cores=False,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        backend=backend,
-    )
-    ours = _series_single_fault(
-        build_three_in_one(spec),
-        spec,
-        target_sbox,
-        target_bit,
-        n_runs=n_runs,
-        key=key,
-        seed=seed,
-        both_cores=False,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        backend=backend,
-    )
+    with trace.span(
+        "figures.fig4", sbox=target_sbox, bit=target_bit, n_runs=n_runs
+    ):
+        naive = _series_single_fault(
+            build_naive_duplication(spec),
+            spec,
+            target_sbox,
+            target_bit,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            both_cores=False,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            backend=backend,
+        )
+        ours = _series_single_fault(
+            build_three_in_one(spec),
+            spec,
+            target_sbox,
+            target_bit,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            both_cores=False,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            backend=backend,
+        )
     return Figure4Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours
     )
@@ -204,34 +216,37 @@ def figure5(
     """
     spec = spec or PresentSpec()
     checkpoint_dir = Path(checkpoint_dir) / "fig5" if checkpoint_dir else None
-    naive = _series_single_fault(
-        build_naive_duplication(spec),
-        spec,
-        target_sbox,
-        target_bit,
-        n_runs=n_runs,
-        key=key,
-        seed=seed,
-        both_cores=True,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        backend=backend,
-    )
-    ours = _series_single_fault(
-        build_three_in_one(spec),
-        spec,
-        target_sbox,
-        target_bit,
-        n_runs=n_runs,
-        key=key,
-        seed=seed,
-        both_cores=True,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        backend=backend,
-    )
+    with trace.span(
+        "figures.fig5", sbox=target_sbox, bit=target_bit, n_runs=n_runs
+    ):
+        naive = _series_single_fault(
+            build_naive_duplication(spec),
+            spec,
+            target_sbox,
+            target_bit,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            both_cores=True,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            backend=backend,
+        )
+        ours = _series_single_fault(
+            build_three_in_one(spec),
+            spec,
+            target_sbox,
+            target_bit,
+            n_runs=n_runs,
+            key=key,
+            seed=seed,
+            both_cores=True,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            backend=backend,
+        )
     return Figure5Data(
         target_sbox=target_sbox, target_bit=target_bit, naive=naive, ours=ours
     )

@@ -37,6 +37,7 @@ from repro.faults.classification import Outcome, classify
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSpec
 from repro.rng import BlockedRng, derive_rng, random_bits
+from repro.telemetry import trace
 from repro.utils.bits import bits_to_ints
 
 __all__ = ["RNG_BLOCK", "CampaignResult", "run_campaign"]
@@ -89,31 +90,35 @@ def run_range(
     block = design.spec.block_bits
     chunk = max(RNG_BLOCK, chunk - chunk % RNG_BLOCK)
 
+    span = trace.span(
+        "campaign.run_range", scheme=design.scheme, lo=lo, hi=hi
+    )
     pt_parts: list[np.ndarray] = []
     rel_parts: list[np.ndarray] = []
     exp_parts: list[np.ndarray] = []
     flag_parts: list[np.ndarray] = []
 
-    start = lo
-    while start < hi:
-        stop = min(start + chunk, hi)
-        batch = stop - start
-        rng = range_rng(seed, start, stop)
-        pts_bits = random_bits(rng, batch, block)
-        pts = bits_to_ints(pts_bits)
+    with span:
+        start = lo
+        while start < hi:
+            stop = min(start + chunk, hi)
+            batch = stop - start
+            rng = range_rng(seed, start, stop)
+            pts_bits = random_bits(rng, batch, block)
+            pts = bits_to_ints(pts_bits)
 
-        clean_sim = design.simulator(batch, backend=backend)
-        clean = design.run(clean_sim, pts, key, rng=rng)
+            clean_sim = design.simulator(batch, backend=backend)
+            clean = design.run(clean_sim, pts, key, rng=rng)
 
-        injector = FaultInjector(specs, batch, rng=rng)
-        fault_sim = design.simulator(batch, faults=injector, backend=backend)
-        faulted = design.run(fault_sim, pts, key, rng=rng)
+            injector = FaultInjector(specs, batch, rng=rng)
+            fault_sim = design.simulator(batch, faults=injector, backend=backend)
+            faulted = design.run(fault_sim, pts, key, rng=rng)
 
-        pt_parts.append(pts_bits)
-        rel_parts.append(faulted["ciphertext"])
-        exp_parts.append(clean["ciphertext"])
-        flag_parts.append(faulted["fault"])
-        start = stop
+            pt_parts.append(pts_bits)
+            rel_parts.append(faulted["ciphertext"])
+            exp_parts.append(clean["ciphertext"])
+            flag_parts.append(faulted["fault"])
+            start = stop
 
     return (
         np.concatenate(pt_parts),
@@ -309,24 +314,27 @@ def run_campaign(
         )
 
     block = design.spec.block_bits
-    if n_runs <= 0:
-        empty_word = np.zeros((0, block), dtype=np.uint8)
-        empty_flag = np.zeros(0, dtype=np.uint8)
-        pt, rel, exp, flags = empty_word, empty_word, empty_word, empty_flag
-    else:
-        pt, rel, exp, flags = run_range(
-            design,
-            specs,
-            key=key,
-            seed=seed,
-            lo=0,
-            hi=n_runs,
-            chunk=chunk,
-            backend=backend,
+    with trace.span(
+        "campaign.run", scheme=design.scheme, n_runs=n_runs, seed=seed
+    ):
+        if n_runs <= 0:
+            empty_word = np.zeros((0, block), dtype=np.uint8)
+            empty_flag = np.zeros(0, dtype=np.uint8)
+            pt, rel, exp, flags = empty_word, empty_word, empty_word, empty_flag
+        else:
+            pt, rel, exp, flags = run_range(
+                design,
+                specs,
+                key=key,
+                seed=seed,
+                lo=0,
+                hi=n_runs,
+                chunk=chunk,
+                backend=backend,
+            )
+        outcomes = classify(
+            rel, flags, exp, flag_observable=flag_observable, infective=infective
         )
-    outcomes = classify(
-        rel, flags, exp, flag_observable=flag_observable, infective=infective
-    )
     return CampaignResult(
         scheme=design.scheme,
         key=key,

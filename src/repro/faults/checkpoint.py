@@ -31,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.telemetry import run_manifest
+
 __all__ = ["CheckpointError", "CheckpointStore", "ShardRecord"]
 
 MANIFEST_NAME = "manifest.json"
@@ -91,6 +93,10 @@ class CheckpointStore:
         self.keys = tuple(keys)
         self.config: dict = {}
         self.shards: dict[int, ShardRecord] = {}
+        #: environment snapshot (git rev, versions, ...) of the run that
+        #: created the ledger — informational only, never part of the
+        #: campaign identity compared on resume.
+        self.environment: dict = {}
 
     # ------------------------------------------------------------- lifecycle
 
@@ -102,6 +108,7 @@ class CheckpointStore:
         """Start a fresh ledger for ``config`` with one record per range."""
         self.directory.mkdir(parents=True, exist_ok=True)
         self.config = dict(config)
+        self.environment = run_manifest(kind="checkpoint")
         self.shards = {
             i: ShardRecord(index=i, lo=lo, hi=hi)
             for i, (lo, hi) in enumerate(ranges)
@@ -122,6 +129,7 @@ class CheckpointStore:
                     f"in {self.manifest_path}"
                 )
             self.config = raw["campaign"]
+            self.environment = dict(raw.get("environment") or {})
             self.shards = {
                 int(k): ShardRecord(**v) for k, v in raw["shards"].items()
             }
@@ -153,6 +161,7 @@ class CheckpointStore:
         payload = {
             "version": MANIFEST_VERSION,
             "campaign": self.config,
+            "environment": self.environment,
             "keys": list(self.keys),
             "shards": {str(i): asdict(r) for i, r in sorted(self.shards.items())},
         }

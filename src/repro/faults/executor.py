@@ -41,11 +41,12 @@ from __future__ import annotations
 
 import contextlib
 import functools
+import logging
 import pickle
 import signal
 import threading
 import time
-import warnings
+import traceback as traceback_module
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -58,6 +59,15 @@ from repro.faults.campaign import RNG_BLOCK, CampaignResult, run_range
 from repro.faults.checkpoint import SHARD_KEYS, CheckpointStore
 from repro.faults.classification import classify
 from repro.faults.models import FaultSpec
+from repro.telemetry import (
+    ProgressTracker,
+    enable_kernel_timings,
+    kernel_timings_enabled,
+    metrics,
+    trace,
+)
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "ExecutorConfig",
@@ -130,12 +140,14 @@ def _deadline(seconds: float | None):
     if not usable:
         if not _timeout_warned:
             _timeout_warned = True
-            warnings.warn(
-                f"shard timeout of {seconds}s requested but SIGALRM is not "
-                "usable here (platform without it, or not the main thread); "
-                "shards will run without a wall-clock guard",
-                RuntimeWarning,
-                stacklevel=3,
+            log.warning(
+                "shard timeout of %ss requested but SIGALRM is not usable "
+                "here (platform without it, or not the main thread); shards "
+                "will run without a wall-clock guard",
+                seconds,
+            )
+            trace.event(
+                "executor.timeout_degraded", timeout_s=seconds, reason="no SIGALRM"
             )
         yield
         return
@@ -203,15 +215,31 @@ _WORKER_CTX: dict = {}
 
 
 def _worker_init(payload: bytes) -> None:
-    _WORKER_CTX["ctx"] = pickle.loads(payload)
+    ctx = pickle.loads(payload)
+    _WORKER_CTX["ctx"] = ctx
+    # apply the parent's telemetry switches in this worker process (fork
+    # inherits them, but spawn-based pools start from clean module state)
+    enable_kernel_timings(ctx[3].get("kernel_metrics", False))
 
 
 def _worker_shard(index: int, lo: int, hi: int, attempt: int):
-    task, timeout, hook = _WORKER_CTX["ctx"]
-    with _deadline(timeout):
-        if hook is not None:
-            hook(index, attempt)
-        return index, task(lo, hi)
+    task, timeout, hook, tele = _WORKER_CTX["ctx"]
+    if not tele.get("capture"):
+        with _deadline(timeout):
+            if hook is not None:
+                hook(index, attempt)
+            return index, task(lo, hi), None
+    # Tracing is on in the supervisor: record this shard's spans and
+    # metrics into buffers and ship them home with the arrays — workers
+    # never touch the sink file.
+    metrics.reset()
+    with trace.capture() as records:
+        with trace.span("executor.shard", shard=index, lo=lo, hi=hi, attempt=attempt):
+            with _deadline(timeout):
+                if hook is not None:
+                    hook(index, attempt)
+                arrays = task(lo, hi)
+    return index, arrays, {"records": records, "metrics": metrics.snapshot()}
 
 
 # ------------------------------------------------------------- supervisor
@@ -229,6 +257,7 @@ class _Supervisor:
         store: CheckpointStore | None,
         shard_hook: ShardHook | None,
         on_shard_done: Callable[[int, dict[str, np.ndarray]], object] | None,
+        progress: ProgressTracker | None = None,
     ) -> None:
         self.task = task
         self.ranges = ranges
@@ -236,6 +265,7 @@ class _Supervisor:
         self.store = store
         self.shard_hook = shard_hook
         self.on_shard_done = on_shard_done
+        self.progress = progress
         self.results: dict[int, dict[str, np.ndarray]] = {}
         self.failures: dict[int, dict] = {}
         self.attempts: dict[int, int] = {}
@@ -245,34 +275,89 @@ class _Supervisor:
 
     # -- shared bookkeeping
 
+    def _advance(self, index: int, status: str) -> None:
+        """Count a shard (succeeded or permanently failed) as processed."""
+        lo, hi = self.ranges[index]
+        if self.progress is not None:
+            snap = self.progress.advance(hi - lo, shard=index, status=status)
+        else:
+            snap = {}
+        trace.event(
+            "shard.done",
+            shard=index,
+            lo=lo,
+            hi=hi,
+            status=status,
+            attempts=self.attempts.get(index, 0),
+            eta_s=snap.get("eta_s"),
+        )
+
     def _succeed(self, index: int, arrays: dict[str, np.ndarray]) -> None:
         self.results[index] = arrays
+        metrics.inc("executor.shards_completed")
         if self.store is not None:
             self.store.shards[index].attempts = self.attempts[index]
             self.store.write_shard(index, arrays)
+        self._advance(index, "done")
         if self.on_shard_done is not None and self.on_shard_done(index, arrays):
             self.stopped = True
 
     def _fail(self, index: int, exc: BaseException) -> None:
         lo, hi = self.ranges[index]
         message = f"{type(exc).__name__}: {exc}"
+        tb = "".join(traceback_module.format_exception(exc))
         self.failures[index] = {
             "index": index,
             "lo": lo,
             "hi": hi,
             "attempts": self.attempts[index],
             "error": message,
+            "traceback": tb,
         }
+        metrics.inc("executor.shards_failed")
+        log.error(
+            "shard %d (runs [%d, %d)) failed permanently after %d attempt(s): "
+            "%s\n%s",
+            index, lo, hi, self.attempts[index], message, tb,
+        )
+        trace.event(
+            "shard.failed",
+            shard=index,
+            lo=lo,
+            hi=hi,
+            attempts=self.attempts[index],
+            error=message,
+            traceback=tb,
+        )
         if self.store is not None:
             self.store.mark_failed(index, message, self.attempts[index])
+        self._advance(index, "failed")
 
     def _should_retry(self, index: int, exc: BaseException) -> bool:
         """Record the attempt; True → back off and try again."""
         if self.attempts[index] > self.config.retries:
             self._fail(index, exc)
             return False
+        metrics.inc("executor.shards_retried")
+        log.warning(
+            "shard %d attempt %d failed (%s: %s); retrying",
+            index, self.attempts[index], type(exc).__name__, exc,
+        )
+        trace.event(
+            "shard.retry",
+            shard=index,
+            attempt=self.attempts[index],
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(traceback_module.format_exception(exc)),
+        )
         time.sleep(self.config.backoff * (2 ** (self.attempts[index] - 1)))
         return True
+
+    def _ingest(self, payload: dict | None) -> None:
+        """Fold a worker shard's captured telemetry into this process."""
+        if payload:
+            trace.ingest(payload.get("records"))
+            metrics.merge(payload.get("metrics") or {})
 
     # -- serial path
 
@@ -285,7 +370,10 @@ class _Supervisor:
             while True:
                 self.attempts[index] += 1
                 try:
-                    with _deadline(self.config.timeout):
+                    with trace.span(
+                        "executor.shard",
+                        shard=index, lo=lo, hi=hi, attempt=self.attempts[index],
+                    ), _deadline(self.config.timeout):
                         if self.shard_hook is not None:
                             self.shard_hook(index, self.attempts[index])
                         arrays = self.task(lo, hi)
@@ -303,15 +391,20 @@ class _Supervisor:
 
     def run_pool(self, pending: list[int]) -> None:
         cfg = self.config
+        tele = {
+            "capture": trace.enabled,
+            "kernel_metrics": kernel_timings_enabled(),
+        }
         try:
-            payload = pickle.dumps((self.task, cfg.timeout, self.shard_hook))
-        except Exception as exc:
-            warnings.warn(
-                f"sharded executor: task not picklable ({exc}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=3,
+            payload = pickle.dumps(
+                (self.task, cfg.timeout, self.shard_hook, tele)
             )
+        except Exception as exc:
+            log.warning(
+                "sharded executor: task not picklable (%s); falling back to "
+                "serial execution", exc,
+            )
+            trace.event("executor.serial_fallback", error=str(exc))
             self.run_serial(pending)
             return
 
@@ -341,7 +434,7 @@ class _Supervisor:
                 for fut in done:
                     index = in_flight.pop(fut)
                     try:
-                        _, arrays = fut.result()
+                        _, arrays, shard_telemetry = fut.result()
                     except BrokenProcessPool as exc:
                         pool_broken = True
                         if self._should_retry(index, exc):
@@ -350,6 +443,7 @@ class _Supervisor:
                         if self._should_retry(index, exc):
                             queue.append(index)
                     else:
+                        self._ingest(shard_telemetry)
                         self._succeed(index, arrays)
                 if pool_broken:
                     # The pool is unusable: every in-flight shard was lost
@@ -407,6 +501,7 @@ def run_sharded(
     keys: tuple[str, ...] = SHARD_KEYS,
     shard_hook: ShardHook | None = None,
     on_shard_done: Callable[[int, dict[str, np.ndarray]], object] | None = None,
+    label: str = "sharded",
 ) -> ShardedRun:
     """Execute ``task`` over ``ranges`` with supervision and checkpoints.
 
@@ -418,9 +513,21 @@ def run_sharded(
     the supervisor process after each shard completes (and is persisted) —
     returning a truthy value stops the sweep early, leaving the remaining
     shards ``pending`` in the manifest (the certifier's fail-fast).
+
+    ``label`` names the workload in progress lines and trace records.
+    Observability: the whole sweep runs inside an ``executor.run_sharded``
+    span; every shard yields an ``executor.shard`` span (captured in the
+    worker for pool runs) plus ``shard.done``/``shard.retry``/
+    ``shard.failed`` events with attempt counts and tracebacks, and a
+    live progress line with ETA is rendered on TTYs (``REPRO_PROGRESS=0``
+    disables it).
     """
     config = config or ExecutorConfig()
     ranges = list(ranges)
+    total_units = sum(hi - lo for lo, hi in ranges)
+    progress = ProgressTracker(
+        total_units, label=label, total_items=len(ranges), unit="units"
+    )
     supervisor = _Supervisor(
         task,
         ranges=ranges,
@@ -428,32 +535,50 @@ def run_sharded(
         store=None,
         shard_hook=shard_hook,
         on_shard_done=on_shard_done,
+        progress=progress,
     )
-    if config.checkpoint_dir is not None and ranges:
-        store = CheckpointStore(config.checkpoint_dir, keys=keys)
-        if config.resume and store.exists:
-            store.load(identity)
-            for index, record in store.shards.items():
-                arrays = store.read_shard(index)
-                if arrays is not None:
-                    supervisor.results[index] = arrays
-                    supervisor.attempts[index] = record.attempts
-                else:
-                    # missing/corrupt archive or a previously failed shard:
-                    # recompute it (deterministically) this time around
-                    record.status = "pending"
-                    record.error = ""
-            store.flush()
+    started = time.perf_counter()
+    with trace.span(
+        "executor.run_sharded",
+        label=label,
+        shards=len(ranges),
+        units=total_units,
+        jobs=config.jobs,
+    ):
+        if config.checkpoint_dir is not None and ranges:
+            store = CheckpointStore(config.checkpoint_dir, keys=keys)
+            if config.resume and store.exists:
+                store.load(identity)
+                for index, record in store.shards.items():
+                    arrays = store.read_shard(index)
+                    if arrays is not None:
+                        supervisor.results[index] = arrays
+                        supervisor.attempts[index] = record.attempts
+                        lo, hi = ranges[index]
+                        progress.advance(hi - lo, shard=index, status="resumed")
+                    else:
+                        # missing/corrupt archive or a previously failed
+                        # shard: recompute it (deterministically) this time
+                        record.status = "pending"
+                        record.error = ""
+                store.flush()
+            else:
+                store.create(identity or {}, ranges)
+            supervisor.store = store
+
+        pending = [i for i in range(len(ranges)) if i not in supervisor.results]
+        if config.jobs > 1 and len(pending) > 1:
+            supervisor.run_pool(pending)
         else:
-            store.create(identity or {}, ranges)
-        supervisor.store = store
+            supervisor.run_serial(pending)
+        progress.finish()
 
-    pending = [i for i in range(len(ranges)) if i not in supervisor.results]
-    if config.jobs > 1 and len(pending) > 1:
-        supervisor.run_pool(pending)
-    else:
-        supervisor.run_serial(pending)
-
+    elapsed = time.perf_counter() - started
+    done_units = sum(
+        ranges[i][1] - ranges[i][0] for i in supervisor.results
+    )
+    if elapsed > 0:
+        metrics.set("executor.runs_per_second", done_units / elapsed)
     return ShardedRun(
         results=supervisor.results,
         failures=[supervisor.failures[i] for i in sorted(supervisor.failures)],
@@ -507,18 +632,25 @@ def run_campaign_sharded(
         design, specs, key=key, seed=seed, n_runs=n_runs, shard_runs=shard_runs
     )
     run = run_sharded(
-        task, ranges, config=config, identity=identity, shard_hook=shard_hook
+        task, ranges, config=config, identity=identity, shard_hook=shard_hook,
+        label=f"campaign[{design.scheme}]",
     )
 
     failures = run.failures
     if failures:
         lost = sum(f["hi"] - f["lo"] for f in failures)
-        warnings.warn(
-            f"campaign completed partially: {len(failures)} of {len(ranges)} "
-            f"shards failed ({lost} of {n_runs} runs lost); see "
-            "result.extra['failed_shards']",
-            RuntimeWarning,
-            stacklevel=2,
+        log.warning(
+            "campaign completed partially: %d of %d shards failed "
+            "(%d of %d runs lost); see result.extra['failed_shards']",
+            len(failures), len(ranges), lost, n_runs,
+        )
+        trace.event(
+            "campaign.partial",
+            scheme=design.scheme,
+            failed_shards=len(failures),
+            total_shards=len(ranges),
+            runs_lost=lost,
+            n_runs=n_runs,
         )
     merged = run.merged(SHARD_KEYS)
     if merged is None:

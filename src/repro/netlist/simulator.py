@@ -25,12 +25,15 @@ each other — enforced by the differential property suite in
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable, Mapping, Sequence
 from typing import Protocol
 
 import numpy as np
 
 from repro.netlist.circuit import Circuit
+from repro.telemetry.metrics import kernel_timings_enabled
+from repro.telemetry.metrics import metrics as _metrics
 from repro.netlist.gates import GateType
 from repro.utils.bits import pack_bits, unpack_bits, words_for
 
@@ -283,6 +286,15 @@ class Simulator:
                     vals[net] = transform(vals[net])
         if self._kernel is not None:
             self._kernel.run(vals, fault_map if fault_map else None)
+        elif kernel_timings_enabled():
+            t0 = time.perf_counter()
+            if fault_map:
+                self._run_program_faulty(fault_map)
+            else:
+                self._run_program_clean()
+            _metrics.observe(
+                "kernel.reference.cycle", time.perf_counter() - t0
+            )
         elif fault_map:
             self._run_program_faulty(fault_map)
         else:

@@ -1,0 +1,56 @@
+"""Dependency-free observability for the reproduction's long-running jobs.
+
+The paper-scale artefacts — 80k-run fault campaigns, full fault-space
+certification sweeps — are sharded, multi-process workloads that would
+otherwise run dark.  This package gives them structured visibility with
+stdlib-only machinery and **zero overhead when disabled**:
+
+:mod:`repro.telemetry.trace`
+    Span-based tracing: ``with trace.span("certify.sweep", total=n):``
+    context managers with monotonic timings, nested span ids, one JSON
+    object per line in the sink file (JSONL).  Disabled (the default),
+    ``trace.span`` returns a shared no-op object.
+
+:mod:`repro.telemetry.metrics`
+    A process-local registry of counters, gauges and histograms with
+    mergeable snapshots — worker processes return their snapshot with
+    each shard result and the supervisor folds it into the parent
+    registry.  Per-(level, opcode) simulator kernel timings hang off the
+    same registry behind :func:`~repro.telemetry.metrics.kernel_timings_enabled`.
+
+:mod:`repro.telemetry.progress`
+    Shard-granular progress with throughput and ETA, rendered as a live
+    single status line on a TTY (``REPRO_PROGRESS=0`` disables, ``=1``
+    forces) and mirrored as ``progress`` events into the trace.
+
+:mod:`repro.telemetry.manifest`
+    The run manifest: backend, worker count, seed, git revision,
+    python/numpy versions — attached to campaign checkpoints,
+    certificates and every ``benchmarks/out/BENCH_*.json``.
+
+:mod:`repro.telemetry.stats`
+    Offline summarisation of a recorded trace (``repro stats FILE``):
+    top spans by wall time, retry counts, throughput.
+"""
+
+from repro.telemetry.manifest import run_manifest
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    enable_kernel_timings,
+    kernel_timings_enabled,
+    metrics,
+)
+from repro.telemetry.progress import ProgressTracker, eta_seconds
+from repro.telemetry.trace import Tracer, trace
+
+__all__ = [
+    "MetricsRegistry",
+    "ProgressTracker",
+    "Tracer",
+    "enable_kernel_timings",
+    "eta_seconds",
+    "kernel_timings_enabled",
+    "metrics",
+    "run_manifest",
+    "trace",
+]

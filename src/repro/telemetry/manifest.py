@@ -1,0 +1,63 @@
+"""The run manifest: an environment fingerprint for every artefact.
+
+Exhaustive sweeps are only auditable if the artefact records *what
+produced it*.  :func:`run_manifest` captures the interpreter, numpy, the
+platform, the git revision of the working tree, and whatever
+workload-specific fields the caller passes (backend, jobs, seed, ...).
+It is attached to campaign checkpoints
+(:class:`repro.faults.checkpoint.CheckpointStore` manifests, outside the
+identity that resume compares), to certificates (under the volatile
+``timing`` key, preserving the byte-identical-modulo-timing contract),
+to every ``benchmarks/out/BENCH_*.json``, and to the head of every
+telemetry trace.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform
+import subprocess
+import time
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "git_revision", "run_manifest"]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def git_revision() -> str | None:
+    """HEAD of the repository containing this package, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def run_manifest(**extra) -> dict:
+    """Environment fingerprint plus caller-supplied workload fields.
+
+    Keyword arguments (``backend=``, ``jobs=``, ``seed=``, ...) are
+    merged into the document; a caller key wins over a base key.
+    """
+    import numpy as np
+
+    doc = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "pid": os.getpid(),
+        "git_rev": git_revision(),
+    }
+    doc.update(extra)
+    return doc

@@ -1,0 +1,189 @@
+"""Counters, gauges and histograms with mergeable snapshots.
+
+The registry is process-local and always functional — recording a counter
+is a dict lookup and an integer add, cheap enough to leave unguarded at
+shard/campaign granularity.  The one genuinely hot site, the levelized
+simulation kernel's per-(level, opcode) group loop, is additionally gated
+behind :data:`KERNEL_TIMINGS` so the disabled default adds a single
+boolean check per ``run()`` call (see
+:class:`repro.netlist.levelized.LevelizedKernel`).
+
+Cross-process aggregation: a worker calls :meth:`MetricsRegistry.reset`
+before its shard, :meth:`MetricsRegistry.snapshot` after, and ships the
+snapshot home with the shard arrays; the supervisor calls
+:meth:`MetricsRegistry.merge` — counters add, gauges last-write-wins,
+histograms combine their (count, total, min, max) moments.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KERNEL_TIMINGS",
+    "MetricsRegistry",
+    "enable_kernel_timings",
+    "kernel_timings_enabled",
+    "metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-written value (e.g. ``runs_per_second``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming moments of an observed quantity: count/total/min/max.
+
+    Fixed memory per histogram — safe for per-(level, opcode) kernel
+    timings where a reservoir would balloon.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": round(self.min, 9) if self.count else None,
+            "max": round(self.max, 9) if self.count else None,
+        }
+
+    def merge(self, doc: dict) -> None:
+        if not doc.get("count"):
+            return
+        self.count += int(doc["count"])
+        self.total += float(doc["total"])
+        self.min = min(self.min, float(doc["min"]))
+        self.max = max(self.max, float(doc["max"]))
+
+
+class MetricsRegistry:
+    """Named metrics for one process (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -------------------------------------------------------------- access
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter())
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge())
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram())
+        return h
+
+    # convenience one-liners for call sites
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # --------------------------------------------------- snapshot/merge
+
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.to_dict() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, doc in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(doc)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: the process-wide registry
+metrics = MetricsRegistry()
+
+#: per-(level, opcode) kernel timing switch; read once per kernel ``run()``
+#: call, so the disabled default costs one module-attribute load + branch.
+KERNEL_TIMINGS = os.environ.get("REPRO_KERNEL_METRICS", "") not in ("", "0")
+
+
+def kernel_timings_enabled() -> bool:
+    return KERNEL_TIMINGS
+
+
+def enable_kernel_timings(on: bool = True) -> None:
+    """Turn the per-(level, opcode) kernel timing histograms on or off."""
+    global KERNEL_TIMINGS
+    KERNEL_TIMINGS = bool(on)

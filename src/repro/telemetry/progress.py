@@ -1,0 +1,128 @@
+"""Live progress for sharded sweeps: throughput, ETA, one status line.
+
+The tracker counts *units* (campaign runs, certify locations) as shards
+complete.  Each update is mirrored two ways:
+
+- a ``progress`` trace event (when the tracer is enabled) carrying
+  ``done``/``total``/``rate``/``eta_s`` — this is what the acceptance
+  trace and ``repro stats`` consume;
+- a single carriage-return status line on the attached stream, only when
+  that stream is a TTY (or ``REPRO_PROGRESS=1`` forces it); set
+  ``REPRO_PROGRESS=0`` to silence rendering entirely.  Rendering is
+  throttled to one repaint per ``min_interval`` seconds so tight shard
+  loops don't spend their time painting.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.telemetry.trace import trace
+
+__all__ = ["ProgressTracker", "eta_seconds"]
+
+
+def eta_seconds(done: float, total: float, elapsed: float) -> float | None:
+    """Remaining seconds at the observed average rate (None when unknowable)."""
+    if done <= 0 or total <= 0 or elapsed < 0 or done >= total:
+        return 0.0 if 0 < total <= done else None
+    return elapsed * (total - done) / done
+
+
+def _render_enabled(stream) -> bool:
+    env = os.environ.get("REPRO_PROGRESS", "")
+    if env == "0":
+        return False
+    if env and env != "0":
+        return True
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+class ProgressTracker:
+    """Accumulates completed units and renders/emits progress updates."""
+
+    def __init__(
+        self,
+        total_units: int,
+        *,
+        label: str = "progress",
+        total_items: int | None = None,
+        unit: str = "runs",
+        stream=None,
+        enabled: bool | None = None,
+        min_interval: float = 0.2,
+    ) -> None:
+        self.total_units = int(total_units)
+        self.total_items = total_items
+        self.label = label
+        self.unit = unit
+        self.stream = stream if stream is not None else sys.stderr
+        self.render = (
+            enabled if enabled is not None else _render_enabled(self.stream)
+        )
+        self.min_interval = min_interval
+        self.done_units = 0
+        self.done_items = 0
+        self._t0 = time.perf_counter()
+        self._last_paint = 0.0
+        self._painted = False
+
+    # ------------------------------------------------------------- updates
+
+    def advance(self, units: int, *, items: int = 1, **attrs) -> dict:
+        """Record ``units`` more finished work; emit event + status line.
+
+        Returns the progress snapshot (done/total/rate/eta_s) so callers
+        can reuse the math (e.g. for their own log lines).
+        """
+        self.done_units += int(units)
+        self.done_items += items
+        elapsed = time.perf_counter() - self._t0
+        rate = self.done_units / elapsed if elapsed > 0 else 0.0
+        eta = eta_seconds(self.done_units, self.total_units, elapsed)
+        snap = {
+            "label": self.label,
+            "done": self.done_units,
+            "total": self.total_units,
+            "items_done": self.done_items,
+            "items_total": self.total_items,
+            "elapsed_s": round(elapsed, 3),
+            "rate": round(rate, 3),
+            "eta_s": round(eta, 3) if eta is not None else None,
+        }
+        trace.event("progress", **snap, **attrs)
+        if self.render:
+            now = time.perf_counter()
+            final = self.done_units >= self.total_units
+            if final or now - self._last_paint >= self.min_interval:
+                self._last_paint = now
+                self._paint(snap)
+        return snap
+
+    def _paint(self, snap: dict) -> None:
+        pct = (
+            100.0 * snap["done"] / snap["total"] if snap["total"] else 100.0
+        )
+        items = (
+            f" ({snap['items_done']}/{snap['items_total']} shards)"
+            if snap["items_total"] is not None
+            else ""
+        )
+        eta = f" eta {snap['eta_s']:.0f}s" if snap["eta_s"] else ""
+        line = (
+            f"\r{self.label}: {snap['done']}/{snap['total']} {self.unit}"
+            f" {pct:5.1f}%{items} {snap['rate']:,.0f} {self.unit}/s{eta}"
+        )
+        self.stream.write(line.ljust(79)[:120])
+        self.stream.flush()
+        self._painted = True
+
+    def finish(self) -> None:
+        """Terminate the status line (newline) if anything was painted."""
+        if self._painted:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._painted = False

@@ -1,0 +1,167 @@
+"""Offline trace summarisation — the engine behind ``repro stats``.
+
+Reads a JSONL trace recorded via ``--trace FILE``, aggregates it, and
+renders a terminal digest: the run manifest, top spans by cumulative wall
+time, shard retry/failure counts, and end-of-sweep throughput/ETA from
+the recorded ``progress`` events.  Pure functions over parsed records so
+the test suite can drive them on synthetic traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_trace", "render_stats", "summarize"]
+
+
+class TraceError(ValueError):
+    """The trace file is missing or not parseable JSONL."""
+
+
+def load_trace(path) -> list[dict]:
+    """Parse a JSONL trace; raises :class:`TraceError` on garbage."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TraceError(f"{path}:{lineno}: record is not an object")
+        records.append(record)
+    return records
+
+
+def summarize(records: list[dict]) -> dict:
+    """Aggregate a trace into a JSON-safe summary document."""
+    spans: dict[str, dict] = {}
+    events: dict[str, int] = {}
+    progress_last: dict[str, dict] = {}
+    manifest: dict = {}
+    metrics_snapshot: dict = {}
+    retries = 0
+    failures = 0
+    pids: set[int] = set()
+
+    for record in records:
+        rtype = record.get("type")
+        if "pid" in record:
+            pids.add(record["pid"])
+        if rtype == "manifest":
+            manifest = {k: v for k, v in record.items() if k != "type"}
+        elif rtype == "metrics":
+            metrics_snapshot = record.get("metrics", {})
+        elif rtype == "span":
+            agg = spans.setdefault(
+                record.get("name", "?"),
+                {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0},
+            )
+            dur = float(record.get("dur_s", 0.0))
+            agg["count"] += 1
+            agg["total_s"] += dur
+            agg["max_s"] = max(agg["max_s"], dur)
+            if "error" in record:
+                agg["errors"] += 1
+        elif rtype == "event":
+            name = record.get("name", "?")
+            events[name] = events.get(name, 0) + 1
+            attrs = record.get("attrs", {})
+            if name == "progress":
+                progress_last[attrs.get("label", "progress")] = attrs
+            elif name == "shard.retry":
+                retries += 1
+            elif name == "shard.failed":
+                failures += 1
+
+    retries = max(
+        retries,
+        int(metrics_snapshot.get("counters", {}).get("executor.shards_retried", 0)),
+    )
+    for agg in spans.values():
+        agg["total_s"] = round(agg["total_s"], 6)
+        agg["max_s"] = round(agg["max_s"], 6)
+        agg["mean_s"] = round(agg["total_s"] / agg["count"], 6)
+    return {
+        "records": len(records),
+        "pids": sorted(pids),
+        "manifest": manifest,
+        "spans": dict(
+            sorted(spans.items(), key=lambda kv: -kv[1]["total_s"])
+        ),
+        "events": dict(sorted(events.items())),
+        "retries": retries,
+        "failed_shards": failures,
+        "progress": progress_last,
+        "metrics": metrics_snapshot,
+    }
+
+
+def render_stats(summary: dict, *, top: int = 15) -> str:
+    """Human-readable digest of :func:`summarize`'s output."""
+    lines: list[str] = []
+    manifest = summary["manifest"]
+    if manifest:
+        head = [
+            f"{k}={manifest[k]}"
+            for k in ("command", "backend", "jobs", "seed", "git_rev")
+            if manifest.get(k) is not None
+        ]
+        lines.append("manifest: " + (" ".join(head) if head else "(no workload fields)"))
+        lines.append(
+            f"  python {manifest.get('python', '?')}, numpy "
+            f"{manifest.get('numpy', '?')}, {manifest.get('timestamp', '?')}"
+        )
+    lines.append(
+        f"records: {summary['records']} across "
+        f"{len(summary['pids'])} process(es)"
+    )
+
+    if summary["spans"]:
+        lines.append("")
+        lines.append("top spans by cumulative wall time:")
+        lines.append(
+            f"  {'span':<28} {'count':>6} {'total s':>10} {'mean s':>10} {'max s':>10}"
+        )
+        for name, agg in list(summary["spans"].items())[:top]:
+            lines.append(
+                f"  {name:<28} {agg['count']:>6} {agg['total_s']:>10.3f} "
+                f"{agg['mean_s']:>10.4f} {agg['max_s']:>10.3f}"
+                + (f"  ({agg['errors']} errored)" if agg["errors"] else "")
+            )
+
+    lines.append("")
+    lines.append(
+        f"shards: {summary['retries']} retried, "
+        f"{summary['failed_shards']} failed permanently"
+    )
+    for label, snap in summary["progress"].items():
+        done, total = snap.get("done"), snap.get("total")
+        rate = snap.get("rate")
+        lines.append(
+            f"throughput [{label}]: {done}/{total} units"
+            + (f" at {rate:,.0f}/s" if rate else "")
+            + (
+                f", eta {snap['eta_s']:.0f}s"
+                if snap.get("eta_s")
+                else " (complete)"
+            )
+        )
+    counters = summary["metrics"].get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name} = {value}")
+    gauges = summary["metrics"].get("gauges", {})
+    for name, value in gauges.items():
+        lines.append(f"  {name} = {value:,.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Span-based tracing with a JSONL sink.
+
+One :class:`Tracer` instance (:data:`trace`) serves the whole process.
+It starts *disabled*: ``trace.span(...)`` hands back a shared no-op
+context manager and ``trace.event(...)`` returns immediately, so
+instrumented code paths cost one attribute load and one branch — nothing
+else.  Enabling is explicit (``trace.configure(path)``, typically from
+the CLI's ``--trace FILE`` flag).
+
+Record shapes (one JSON object per line, in completion order):
+
+``{"type": "manifest", ...}``
+    The run manifest (environment fingerprint), written once at
+    configure time.
+
+``{"type": "span", "name", "pid", "span_id", "parent_id", "t",
+"dur_s", "attrs"?, "error"?}``
+    One finished span.  ``parent_id`` is the enclosing span's id (``None``
+    at top level), so nesting reconstructs into a tree; ``t`` is wall-clock
+    epoch seconds at entry, ``dur_s`` a monotonic-clock duration.
+
+``{"type": "event", "name", "pid", "parent_id", "t", "attrs"}``
+    A one-shot occurrence: shard retries/failures, progress ticks, ...
+
+``{"type": "metrics", "metrics": {...}}``
+    A registry snapshot, written by :meth:`Tracer.close`.
+
+Worker processes never hold the sink file.  They record into an
+in-memory buffer (:meth:`Tracer.capture`) and ship the records back with
+their shard results; the supervisor writes them with
+:meth:`Tracer.ingest`, so a multi-process run still yields one coherent
+trace file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["NULL_SPAN", "Span", "Tracer", "trace"]
+
+
+class _NullSpan:
+    """The disabled path: a reusable, stateless ``with`` target."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: shared no-op span returned by a disabled tracer
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; records itself to the tracer when the ``with`` exits."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_t0", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self._t0 = 0.0
+        self._wall = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes mid-flight (recorded at span close)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = tracer._new_id()
+        stack.append(self.span_id)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "pid": os.getpid(),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t": round(self._wall, 6),
+            "dur_s": round(dur, 9),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = _jsonable(self.attrs)
+        self._tracer._write(record)
+        return False
+
+
+def _jsonable(attrs: dict) -> dict:
+    """Best-effort coercion so odd attr values never kill a span."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [_jsonable({"v": v})["v"] for v in value]
+        elif isinstance(value, dict):
+            out[key] = _jsonable(value)
+        else:
+            out[key] = str(value)
+    return out
+
+
+class Tracer:
+    """Process-wide trace recorder (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sink = None
+        self._path: Path | None = None
+        self._buffer: list[dict] | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{os.getpid()}:{self._counter}"
+
+    def _write(self, record: dict) -> None:
+        with self._lock:
+            if self._buffer is not None:
+                self._buffer.append(record)
+            elif self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+                self._sink.flush()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def configure(self, path, *, manifest: dict | None = None) -> None:
+        """Open ``path`` as the JSONL sink and enable tracing.
+
+        ``manifest`` (see :func:`repro.telemetry.manifest.run_manifest`)
+        is written as the first record so every trace is self-describing.
+        """
+        self.close()
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._sink = open(self._path, "a", encoding="utf-8")
+        self.enabled = True
+        if manifest is not None:
+            self._write({"type": "manifest", **_jsonable(manifest)})
+
+    def close(self, *, final_metrics: dict | None = None) -> None:
+        """Flush a final metrics snapshot (if given) and disable tracing."""
+        if final_metrics is not None and (self._sink or self._buffer is not None):
+            self._write({"type": "metrics", "metrics": _jsonable(final_metrics)})
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+            self._path = None
+            if self._buffer is None:
+                self.enabled = False
+
+    # ----------------------------------------------------------- recording
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one named operation (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a one-shot occurrence (no-op when disabled)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "pid": os.getpid(),
+                "parent_id": stack[-1] if stack else None,
+                "t": round(time.time(), 6),
+                "attrs": _jsonable(attrs),
+            }
+        )
+
+    @contextmanager
+    def capture(self):
+        """Buffer records in memory instead of a sink (worker-process mode).
+
+        Yields the record list; the caller ships it across the process
+        boundary and the supervisor replays it with :meth:`ingest`.  On
+        exit the tracer returns to its previous (usually disabled) state.
+        """
+        prev_buffer, prev_enabled = self._buffer, self.enabled
+        records: list[dict] = []
+        with self._lock:
+            self._buffer = records
+        self.enabled = True
+        try:
+            yield records
+        finally:
+            with self._lock:
+                self._buffer = prev_buffer
+            self.enabled = prev_enabled
+
+    def ingest(self, records) -> None:
+        """Append records captured in another process to this trace."""
+        if not self.enabled or not records:
+            return
+        for record in records:
+            self._write(record)
+
+
+#: the process-wide tracer
+trace = Tracer()

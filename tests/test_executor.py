@@ -10,6 +10,7 @@ results, and checkpoint corruption handling.
 from __future__ import annotations
 
 import json
+import logging
 import time
 
 import numpy as np
@@ -117,14 +118,13 @@ class TestDeterminism:
         """Kill after k shards, resume, compare against the uninterrupted run."""
         fault = _fault(naive_design, present_spec)
         ck = tmp_path / "ck"
-        with pytest.warns(RuntimeWarning, match="partially"):
-            partial = run_campaign_sharded(
-                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
-                config=ExecutorConfig(
-                    shard_runs=RNG_BLOCK, checkpoint_dir=ck, retries=0, backoff=0.0
-                ),
-                shard_hook=fail_from_shard_one,
-            )
+        partial = run_campaign_sharded(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck, retries=0, backoff=0.0
+            ),
+            shard_hook=fail_from_shard_one,
+        )
         assert partial.partial and partial.n_runs == RNG_BLOCK
 
         store = CheckpointStore(ck)
@@ -186,11 +186,11 @@ class TestSupervision:
         _assert_identical(result, single_shot)
 
     def test_exhausted_retries_degrade_to_partial_result(
-        self, naive_design, present_spec, single_shot, tmp_path
+        self, naive_design, present_spec, single_shot, tmp_path, caplog
     ):
         fault = _fault(naive_design, present_spec)
         ck = tmp_path / "ck"
-        with pytest.warns(RuntimeWarning, match="partially"):
+        with caplog.at_level(logging.WARNING, logger="repro.faults.executor"):
             result = run_campaign_sharded(
                 naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
                 config=ExecutorConfig(
@@ -198,6 +198,11 @@ class TestSupervision:
                 ),
                 shard_hook=always_fail_shard_zero,
             )
+        # partial completion is reported as a structured log event
+        assert "completed partially" in caplog.text
+        # the permanent failure is logged with its captured traceback
+        assert "injected persistent failure" in caplog.text
+        assert "Traceback" in caplog.text
         # shard 0 dropped, the surviving shards are exactly runs [1024, 2560)
         assert result.partial
         assert result.n_runs == N_RUNS - RNG_BLOCK
@@ -205,6 +210,7 @@ class TestSupervision:
         assert failure["index"] == 0
         assert failure["attempts"] == 2  # first attempt + one retry
         assert "injected persistent failure" in failure["error"]
+        assert "injected persistent failure" in failure["traceback"]
         assert (result.released_bits == single_shot.released_bits[RNG_BLOCK:]).all()
 
         store = CheckpointStore(ck)
@@ -214,14 +220,13 @@ class TestSupervision:
 
     def test_shard_timeout_enforced(self, naive_design, present_spec):
         fault = _fault(naive_design, present_spec)
-        with pytest.warns(RuntimeWarning, match="partially"):
-            result = run_campaign_sharded(
-                naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
-                config=ExecutorConfig(
-                    shard_runs=RNG_BLOCK, timeout=0.3, retries=0, backoff=0.0
-                ),
-                shard_hook=sleep_in_shard_zero,
-            )
+        result = run_campaign_sharded(
+            naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, timeout=0.3, retries=0, backoff=0.0
+            ),
+            shard_hook=sleep_in_shard_zero,
+        )
         assert result.partial
         assert "ShardTimeout" in result.extra["failed_shards"][0]["error"]
 
@@ -308,35 +313,37 @@ class TestCheckpointIntegrity:
 class TestDeadlineFallback:
     """Timeouts degrade gracefully where SIGALRM cannot be armed."""
 
-    def test_non_main_thread_degrades_with_one_warning(self):
+    def test_non_main_thread_degrades_with_one_log_event(self, caplog):
         import threading
-        import warnings
 
         from repro.faults import executor as ex
 
         results: list = []
 
         def body():
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                with ex._deadline(0.01):
-                    results.append("ran")
-                with ex._deadline(0.01):
-                    results.append("ran again")
-            results.append([str(w.message) for w in caught])
+            with ex._deadline(0.01):
+                results.append("ran")
+            with ex._deadline(0.01):
+                results.append("ran again")
 
         saved = ex._timeout_warned
         ex._timeout_warned = False
         try:
-            thread = threading.Thread(target=body)
-            thread.start()
-            thread.join()
+            with caplog.at_level(
+                logging.WARNING, logger="repro.faults.executor"
+            ):
+                thread = threading.Thread(target=body)
+                thread.start()
+                thread.join()
         finally:
             ex._timeout_warned = saved
-        assert results[:2] == ["ran", "ran again"]
-        messages = results[2]
-        assert len(messages) == 1  # warned once, not per shard
-        assert "SIGALRM" in messages[0]
+        assert results == ["ran", "ran again"]
+        messages = [
+            r.getMessage()
+            for r in caplog.records
+            if "SIGALRM" in r.getMessage()
+        ]
+        assert len(messages) == 1  # logged once, not per shard
         assert "without a wall-clock guard" in messages[0]
 
     def test_no_timeout_means_no_guard(self):

@@ -1,0 +1,376 @@
+"""The telemetry subsystem: tracing, metrics, progress, stats.
+
+Covers the contracts the rest of the repo leans on: span nesting and
+JSONL round-trips, cross-process metrics aggregation through the sharded
+executor, progress/ETA math, the zero-overhead disabled path (structural:
+the shared no-op span, no sink writes), and the ``repro stats``
+subcommand on a recorded trace.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.faults import RNG_BLOCK, FaultSpec, FaultType, run_campaign
+from repro.faults.models import sbox_input_net
+from repro.telemetry import (
+    MetricsRegistry,
+    ProgressTracker,
+    eta_seconds,
+    metrics,
+    run_manifest,
+    trace,
+)
+from repro.telemetry.manifest import MANIFEST_SCHEMA_VERSION
+from repro.telemetry.stats import TraceError, load_trace, render_stats, summarize
+from repro.telemetry.trace import NULL_SPAN
+from tests.conftest import TEST_KEY80
+
+
+@pytest.fixture(autouse=True)
+def _tracer_hygiene():
+    """Every test starts and ends with a disabled, empty tracer."""
+    trace.close()
+    yield
+    trace.close()
+
+
+# ------------------------------------------------------------------ tracing
+
+
+class TestTracing:
+    def test_disabled_tracer_hands_out_the_shared_null_span(self):
+        assert not trace.enabled
+        assert trace.span("x") is NULL_SPAN
+        assert trace.span("y", attr=1) is NULL_SPAN
+        with trace.span("z") as s:
+            assert s is NULL_SPAN
+            s.set(more=2)  # chainable no-op
+        trace.event("nothing", happens=True)  # must not raise
+
+    def test_span_nesting_links_parent_ids(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.span("outer", layer=1):
+            with trace.span("inner", layer=2):
+                pass
+            with trace.span("inner", layer=2):
+                pass
+        trace.close()
+
+        records = load_trace(path)
+        spans = [r for r in records if r["type"] == "span"]
+        # children close before the parent, so outer is written last
+        assert [s["name"] for s in spans] == ["inner", "inner", "outer"]
+        outer = spans[-1]
+        assert outer["parent_id"] is None
+        for inner in spans[:2]:
+            assert inner["parent_id"] == outer["span_id"]
+        assert len({s["span_id"] for s in spans}) == 3
+
+    def test_span_records_duration_and_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with pytest.raises(ValueError):
+            with trace.span("doomed", n=3):
+                raise ValueError("boom")
+        trace.close()
+        (span,) = [r for r in load_trace(path) if r["type"] == "span"]
+        assert span["dur_s"] >= 0.0
+        assert span["error"] == "ValueError"
+        assert span["attrs"] == {"n": 3}
+
+    def test_manifest_is_first_record_and_round_trips(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        manifest = run_manifest(kind="test", command="certify")
+        trace.configure(path, manifest=manifest)
+        trace.event("tick", i=1)
+        trace.close(final_metrics={"counters": {"c": 2}})
+
+        records = load_trace(path)
+        assert records[0]["type"] == "manifest"
+        assert records[0]["schema"] == MANIFEST_SCHEMA_VERSION
+        assert records[0]["command"] == "certify"
+        assert records[0]["python"]  # environment fields present
+        assert records[-1] == {"type": "metrics", "metrics": {"counters": {"c": 2}}}
+
+    def test_capture_buffers_and_ingest_replays(self, tmp_path):
+        with trace.capture() as records:
+            with trace.span("worker.unit", shard=4):
+                trace.event("inside", ok=True)
+        assert not trace.enabled  # capture restored the disabled state
+        assert [r["type"] for r in records] == ["event", "span"]
+
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        trace.ingest(records)
+        trace.close()
+        assert [r["type"] for r in load_trace(path)] == ["event", "span"]
+
+    def test_unserialisable_attrs_are_coerced_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.span("odd", obj=object(), arr=(1, 2), nested={"k": object()}):
+            pass
+        trace.close()
+        (span,) = load_trace(path)
+        assert isinstance(span["attrs"]["obj"], str)
+        assert span["attrs"]["arr"] == [1, 2]
+        assert isinstance(span["attrs"]["nested"]["k"], str)
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(TraceError):
+            load_trace(path)
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.jsonl")
+
+
+# ------------------------------------------------------------------ metrics
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("shards", 2)
+        reg.inc("shards")
+        reg.set("rate", 12.5)
+        reg.observe("dt", 0.25)
+        reg.observe("dt", 0.75)
+        snap = reg.snapshot()
+        assert snap["counters"]["shards"] == 3
+        assert snap["gauges"]["rate"] == 12.5
+        hist = snap["histograms"]["dt"]
+        assert hist["count"] == 2
+        assert hist["total"] == pytest.approx(1.0)
+        assert hist["min"] == 0.25 and hist["max"] == 0.75
+
+    def test_merge_folds_worker_snapshots(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("shards", 1)
+        parent.observe("dt", 0.5)
+        worker.inc("shards", 4)
+        worker.set("rate", 99.0)
+        worker.observe("dt", 0.1)
+        worker.observe("dt", 0.9)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["shards"] == 5
+        assert snap["gauges"]["rate"] == 99.0
+        assert snap["histograms"]["dt"] == {
+            "count": 3,
+            "total": pytest.approx(1.5),
+            "min": 0.1,
+            "max": 0.9,
+        }
+        assert parent.histogram("dt").mean == pytest.approx(0.5)
+
+    def test_merge_empty_snapshot_is_identity(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.merge({})
+        reg.merge({"histograms": {"h": {"count": 0}}})
+        assert reg.snapshot()["counters"] == {"c": 1}
+        assert reg.snapshot()["histograms"]["h"]["count"] == 0
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set("b", 1)
+        reg.observe("c", 1)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ------------------------------------------------- cross-process aggregation
+
+
+@pytest.mark.slow
+def test_pool_campaign_aggregates_worker_telemetry(
+    naive_design, present_spec, tmp_path
+):
+    """A jobs=2 campaign must yield one coherent trace: shard spans from
+    worker pids, progress events, and merged executor counters."""
+    net = sbox_input_net(naive_design.cores[0], 7, 1)
+    fault = FaultSpec.at(net, FaultType.STUCK_AT_0, present_spec.rounds - 2)
+    path = tmp_path / "campaign.jsonl"
+    metrics.reset()
+    trace.configure(path, manifest=run_manifest(kind="test"))
+    try:
+        run_campaign(
+            naive_design, [fault], n_runs=2 * RNG_BLOCK, key=TEST_KEY80,
+            seed=7, jobs=2, shard_runs=RNG_BLOCK,
+        )
+    finally:
+        trace.close(final_metrics=metrics.snapshot())
+
+    records = load_trace(path)
+    shard_spans = [
+        r for r in records if r["type"] == "span" and r["name"] == "executor.shard"
+    ]
+    assert len(shard_spans) == 2
+    assert all(s["pid"] != os.getpid() for s in shard_spans), (
+        "shard spans must come from the worker processes"
+    )
+    progress = [
+        r for r in records if r["type"] == "event" and r["name"] == "progress"
+    ]
+    assert progress, "progress events must flow into the trace"
+    last = progress[-1]["attrs"]
+    assert last["done"] == last["total"] == 2 * RNG_BLOCK
+    assert last["eta_s"] == 0.0
+
+    (final,) = [r for r in records if r["type"] == "metrics"]
+    counters = final["metrics"]["counters"]
+    assert counters["executor.shards_completed"] == 2
+    assert final["metrics"]["gauges"]["executor.runs_per_second"] > 0
+
+    summary = summarize(records)
+    assert len(summary["pids"]) >= 3  # parent + two workers
+    assert summary["spans"]["executor.shard"]["count"] == 2
+    assert summary["retries"] == 0 and summary["failed_shards"] == 0
+
+
+# ----------------------------------------------------------------- progress
+
+
+class TestProgress:
+    def test_eta_math(self):
+        assert eta_seconds(0, 100, 5.0) is None  # nothing done: unknowable
+        assert eta_seconds(25, 100, 30.0) == pytest.approx(90.0)
+        assert eta_seconds(100, 100, 30.0) == 0.0
+        assert eta_seconds(150, 100, 30.0) == 0.0  # overshoot clamps
+        assert eta_seconds(10, 0, 5.0) is None  # no known total
+
+    def test_advance_snapshots_and_item_counting(self):
+        tracker = ProgressTracker(
+            100, label="sweep", total_items=4, enabled=False
+        )
+        snap = tracker.advance(25, shard=0)
+        assert snap["done"] == 25 and snap["total"] == 100
+        assert snap["items_done"] == 1 and snap["items_total"] == 4
+        assert snap["rate"] >= 0
+        snap = tracker.advance(75, items=3)
+        assert snap["done"] == 100 and snap["items_done"] == 4
+        assert snap["eta_s"] == 0.0
+
+    def test_render_writes_single_line_with_cr(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        stream = io.StringIO()
+        tracker = ProgressTracker(
+            10, label="job", unit="units", stream=stream, enabled=True,
+            min_interval=0.0,
+        )
+        tracker.advance(5)
+        out = stream.getvalue()
+        assert out.startswith("\r") and "\n" not in out
+        assert "job: 5/10 units" in out
+        tracker.advance(5)
+        tracker.finish()
+        assert stream.getvalue().endswith("\n")
+
+    def test_env_var_gates_rendering(self, monkeypatch):
+        stream = io.StringIO()  # not a TTY
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert ProgressTracker(1, stream=stream).render is False
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert ProgressTracker(1, stream=stream).render is True
+        monkeypatch.delenv("REPRO_PROGRESS")
+        assert ProgressTracker(1, stream=stream).render is False  # no TTY
+
+    def test_disabled_tracker_never_touches_the_stream(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        stream = io.StringIO()
+        tracker = ProgressTracker(10, stream=stream)
+        tracker.advance(10)
+        tracker.finish()
+        assert stream.getvalue() == ""
+
+
+# ----------------------------------------------------------------- manifest
+
+
+def test_run_manifest_fields():
+    doc = run_manifest(backend="levelized", jobs=4, seed=11)
+    assert doc["schema"] == MANIFEST_SCHEMA_VERSION
+    assert doc["backend"] == "levelized" and doc["jobs"] == 4 and doc["seed"] == 11
+    for field in ("timestamp", "python", "numpy", "platform", "pid"):
+        assert doc[field], field
+    assert json.loads(json.dumps(doc)) == doc  # JSON-safe
+
+
+# -------------------------------------------------------------- repro stats
+
+
+@pytest.fixture
+def recorded_trace(tmp_path):
+    """A small but representative trace, recorded through the real tracer."""
+    path = tmp_path / "run.jsonl"
+    trace.configure(
+        path, manifest=run_manifest(command="certify", backend="levelized", jobs=2)
+    )
+    with trace.span("certify.sweep", shards=2):
+        for shard in range(2):
+            with trace.span("executor.shard", shard=shard):
+                pass
+        trace.event(
+            "shard.retry", shard=1, attempt=1, error="OSError: transient"
+        )
+        trace.event(
+            "progress",
+            label="certify", done=128, total=128, rate=512.0, eta_s=0.0,
+        )
+    trace.close(
+        final_metrics={
+            "counters": {"executor.shards_retried": 1},
+            "gauges": {"executor.runs_per_second": 512.0},
+            "histograms": {},
+        }
+    )
+    return path
+
+
+class TestStats:
+    def test_summarize_aggregates_spans_and_retries(self, recorded_trace):
+        summary = summarize(load_trace(recorded_trace))
+        assert summary["manifest"]["command"] == "certify"
+        assert summary["spans"]["executor.shard"]["count"] == 2
+        assert summary["spans"]["certify.sweep"]["count"] == 1
+        # sweep wraps the shards, so it dominates cumulative time
+        assert next(iter(summary["spans"])) == "certify.sweep"
+        assert summary["retries"] == 1
+        assert summary["failed_shards"] == 0
+        assert summary["progress"]["certify"]["done"] == 128
+
+    def test_render_stats_digest(self, recorded_trace):
+        text = render_stats(summarize(load_trace(recorded_trace)))
+        assert "command=certify" in text
+        assert "certify.sweep" in text
+        assert "1 retried" in text
+        assert "128/128 units" in text
+        assert "executor.shards_retried = 1" in text
+
+    def test_cli_stats_subcommand(self, recorded_trace, capsys):
+        assert main(["stats", str(recorded_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "top spans by cumulative wall time" in out
+        assert "executor.shard" in out
+
+    def test_cli_stats_on_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_cli_trace_flag_records_a_parseable_trace(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        assert main(["table2", "--trace", str(path)]) == 0
+        records = load_trace(path)
+        assert records[0]["type"] == "manifest"
+        assert records[0]["command"] == "table2"
+        assert records[-1]["type"] == "metrics"
+        assert not trace.enabled  # main() closed the tracer
