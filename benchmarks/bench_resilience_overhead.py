@@ -1,0 +1,122 @@
+"""The chaos layer's zero-overhead-when-disabled contract, measured.
+
+Every instrumented site in the executor and checkpoint store pays exactly
+one attribute load and one ``is None`` branch when chaos is disabled
+(the default) — the same contract telemetry honours.  This bench prices
+the three hook shapes (:meth:`ChaosInjector.at`,
+:meth:`ChaosInjector.should`, :meth:`ChaosInjector.corrupt_file`) against
+one levelized protected-PRESENT-80 kernel cycle and enforces the
+acceptance bound: with chaos disabled, the hooks cost **< 2%** of a
+cycle.  A campaign shard simulates ``design.cycles`` kernel cycles and
+crosses only a handful of chaos sites, so one hook call per cycle is
+already a generous over-estimate of the amortised cost.
+
+It also runs an enabled schedule once to check injection actually works
+when asked for — a worker fault fires and the metrics counter moves.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_report, emit
+from repro.ciphers.netlist_present import PresentSpec
+from repro.countermeasures import build_three_in_one
+from repro.resilience import ChaosError, ChaosFault, ChaosSpec, chaos
+from repro.rng import make_rng, random_ints
+from repro.telemetry import metrics
+
+BATCH = 4096
+OVERHEAD_CEILING = 0.02  # disabled-path cost budget: 2% of one kernel cycle
+HOOK_CALLS = 50_000
+
+
+def _per_cycle_seconds(design, repeats: int = 5) -> float:
+    """Best-of-``repeats`` seconds per simulated cycle, chaos off."""
+    rng = make_rng(3)
+    sim = design.simulator(BATCH, backend="levelized")
+    sim.set_input_ints("plaintext", random_ints(rng, BATCH, design.spec.block_bits))
+    sim.run(design.cycles)  # warm-up: compile the schedule, page buffers
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sim.run(design.cycles)
+        best = min(best, time.perf_counter() - t0)
+    return best / design.cycles
+
+
+def _per_call_seconds(fn, calls: int = HOOK_CALLS) -> float:
+    fn()  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - t0) / calls
+
+
+def test_disabled_chaos_overhead(artifact_dir):
+    chaos.disable()
+    assert not chaos.enabled
+
+    design = build_three_in_one(PresentSpec())
+    cycle_s = _per_cycle_seconds(design)
+    at_s = _per_call_seconds(lambda: chaos.at("worker", index=1, attempt=1))
+    should_s = _per_call_seconds(
+        lambda: chaos.should("supervisor.result", "duplicate", index=1)
+    )
+    corrupt_s = _per_call_seconds(
+        lambda: chaos.corrupt_file("checkpoint.shard", "/nonexistent", index=1)
+    )
+
+    overhead = (at_s + should_s + corrupt_s) / cycle_s
+    assert overhead < OVERHEAD_CEILING, (
+        f"disabled chaos hooks cost {overhead:.2%} of a levelized cycle "
+        f"(budget {OVERHEAD_CEILING:.0%}): at={at_s * 1e9:.0f}ns, "
+        f"should={should_s * 1e9:.0f}ns, corrupt={corrupt_s * 1e9:.0f}ns, "
+        f"cycle={cycle_s * 1e6:.0f}us"
+    )
+
+    emit(
+        artifact_dir,
+        "resilience_overhead.txt",
+        (
+            f"disabled-chaos overhead on the levelized kernel: "
+            f"{overhead:.4%} of one batch-{BATCH} cycle "
+            f"(at {at_s * 1e9:.0f} ns + should {should_s * 1e9:.0f} ns + "
+            f"corrupt_file {corrupt_s * 1e9:.0f} ns vs cycle "
+            f"{cycle_s * 1e6:.1f} us; budget {OVERHEAD_CEILING:.0%})"
+        ),
+    )
+    bench_report(
+        artifact_dir,
+        "resilience",
+        config={
+            "batch": BATCH,
+            "ceiling": OVERHEAD_CEILING,
+            "hook_calls": HOOK_CALLS,
+        },
+        metrics={
+            "cycle_seconds": round(cycle_s, 9),
+            "at_hook_seconds": round(at_s, 12),
+            "should_hook_seconds": round(should_s, 12),
+            "corrupt_hook_seconds": round(corrupt_s, 12),
+            "overhead_fraction": round(overhead, 6),
+        },
+    )
+
+
+def test_enabled_chaos_actually_fires():
+    """The hooks must work when asked for, not just be free when not."""
+    metrics.reset()
+    chaos.configure(
+        ChaosSpec(seed=2, faults=(ChaosFault("worker", "raise", 1.0, 1),))
+    )
+    try:
+        with pytest.raises(ChaosError):
+            chaos.at("worker", index=0, attempt=1)
+        assert chaos.at("worker", index=0, attempt=2) is None  # retry healthy
+    finally:
+        chaos.disable()
+        snap = metrics.snapshot()
+        metrics.reset()
+    assert snap["counters"].get("chaos.injected", 0) == 1
+    assert snap["counters"].get("chaos.worker.raise", 0) == 1

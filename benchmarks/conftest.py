@@ -90,6 +90,8 @@ def bench_report(
     (``metrics``), and the environment ``manifest`` (git rev, python/numpy
     versions, timestamp) — so CI can archive and diff them uniformly.
     """
+    from repro.resilience.persist import atomic_write_json
+
     path = artifact_dir / f"BENCH_{name}.json"
     report = {
         "name": name,
@@ -97,5 +99,5 @@ def bench_report(
         "metrics": metrics,
         "manifest": run_manifest(kind="bench", bench=name),
     }
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, report)
     return path

@@ -8,7 +8,11 @@ JSON certificate (:mod:`repro.certify.certificate`) with a verdict per
 paper claim.  Surfaced as ``repro certify`` on the CLI.
 """
 
-from repro.certify.certificate import CERTIFICATE_VERSION, Certificate
+from repro.certify.certificate import (
+    CERTIFICATE_VERSION,
+    Certificate,
+    CertificateError,
+)
 from repro.certify.certifier import (
     CERTIFY_KEYS,
     CertifyConfig,
@@ -27,6 +31,7 @@ __all__ = [
     "CERTIFICATE_VERSION",
     "CERTIFY_KEYS",
     "Certificate",
+    "CertificateError",
     "CertifyConfig",
     "DEFAULT_MODELS",
     "FaultSpace",

@@ -8,6 +8,15 @@ with all wall-clock data isolated under the single ``timing`` key — so two
 runs over the same inputs (including an interrupted-and-resumed run) emit
 byte-identical documents once ``timing`` is dropped; the test suite and CI
 diff them that way.
+
+Integrity: :meth:`Certificate.save` writes atomically and embeds an
+``integrity`` block (SHA-256 over the canonical rendering of everything
+else).  :meth:`Certificate.load` re-verifies it — a certificate that was
+torn mid-write, bit-rotted, or hand-edited raises
+:class:`CertificateError`, which the CLI maps to the documented exit
+code 3 (artefact mismatch), the same family as a foreign checkpoint.
+A certificate is a *security verdict*; trusting a corrupted one silently
+would defeat the whole exercise.
 """
 
 from __future__ import annotations
@@ -16,9 +25,22 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["CERTIFICATE_VERSION", "Certificate"]
+from repro.resilience.persist import atomic_write_text, sha256_bytes
+
+__all__ = ["CERTIFICATE_VERSION", "Certificate", "CertificateError"]
 
 CERTIFICATE_VERSION = 1
+
+
+class CertificateError(ValueError):
+    """A certificate document is unreadable, unversioned or fails integrity."""
+
+
+def _canonical_digest(doc: dict) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON of ``doc``."""
+    return sha256_bytes(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    )
 
 
 @dataclass
@@ -58,6 +80,18 @@ class Certificate:
             for v in self.verdicts.values()
         )
 
+    @property
+    def degraded(self) -> bool:
+        """True when the sweep lost coverage to quarantine or a wall budget.
+
+        A degraded certificate is still *valid* — its verdicts hold over
+        exactly the covered locations, and ``coverage`` accounts for the
+        uncovered remainder explicitly — but it is not the full claim.
+        """
+        return bool(self.coverage.get("degraded")) or any(
+            v.get("degraded") for v in self.verdicts.values()
+        )
+
     def to_dict(self, *, include_timing: bool = True) -> dict:
         doc = {
             "version": CERTIFICATE_VERSION,
@@ -89,12 +123,20 @@ class Certificate:
         )
 
     def save(self, path) -> None:
-        Path(path).write_text(self.render() + "\n")
+        """Atomically persist the certificate with an integrity digest."""
+        doc = self.to_dict()
+        doc["integrity"] = {
+            "algorithm": "sha256",
+            "digest": _canonical_digest(doc),
+        }
+        atomic_write_text(
+            path, json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        )
 
     @classmethod
     def from_dict(cls, doc: dict) -> "Certificate":
         if doc.get("version") != CERTIFICATE_VERSION:
-            raise ValueError(
+            raise CertificateError(
                 f"unsupported certificate version {doc.get('version')!r}"
             )
         return cls(
@@ -117,7 +159,40 @@ class Certificate:
 
     @classmethod
     def load(cls, path) -> "Certificate":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load and *verify* a certificate (schema version + checksum).
+
+        Raises :class:`CertificateError` on an unparseable document, an
+        unsupported schema version, a malformed structure, or an
+        ``integrity`` digest that does not match the content.  Documents
+        written before the integrity block existed (no ``integrity`` key)
+        load without the checksum check.
+        """
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise CertificateError(
+                f"unreadable certificate {path}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise CertificateError(
+                f"certificate {path} is not a JSON object"
+            )
+        integrity = doc.pop("integrity", None)
+        if integrity is not None:
+            stored = (integrity or {}).get("digest")
+            if stored != _canonical_digest(doc):
+                raise CertificateError(
+                    f"certificate {path} fails its integrity checksum "
+                    f"(torn write, bit-rot, or out-of-band edit)"
+                )
+        try:
+            return cls.from_dict(doc)
+        except CertificateError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise CertificateError(
+                f"malformed certificate {path}: missing/invalid {exc}"
+            ) from exc
 
     def summary(self) -> str:
         """A short human-readable digest for CLI output."""
@@ -133,6 +208,18 @@ class Certificate:
             + (" [stratified sample]" if cov["sampled"] else " [exhaustive]")
             + f", {cov['runs_executed']} faulted runs",
         ]
+        if self.degraded:
+            lines.append(
+                f"DEGRADED: {cov.get('locations_uncovered', 0)} planned "
+                f"location(s) uncovered "
+                f"({len(cov.get('failed_shards', []))} quarantined shard(s)"
+                + (
+                    ", wall budget exhausted"
+                    if cov.get("budget_exhausted")
+                    else ""
+                )
+                + ")"
+            )
         for claim, verdict in sorted(self.verdicts.items()):
             lines.append(f"verdict {claim}: {verdict['status']}")
         if self.witnesses:

@@ -81,6 +81,10 @@ class CertifyConfig:
     timeout: float | None = None
     retries: int = 2
     backoff: float = 0.5
+    #: global wall-clock budget for the sweep; once spent the certifier
+    #: stops scheduling shards and emits a *degraded* partial certificate
+    #: with explicit uncovered-fault-space accounting (never an abort)
+    wall_budget: float | None = None
 
 
 def _certify_task(
@@ -196,11 +200,15 @@ def certify_design(
                 "locations_total": space.total,
                 "locations_planned": 0,
                 "locations_covered": 0,
+                "locations_uncovered": 0,
+                "uncovered_per_stratum": {},
                 "runs_executed": 0,
                 "fraction": 0.0,
                 "sampled": False,
                 "budget": config.budget,
                 "stopped_early": False,
+                "budget_exhausted": False,
+                "degraded": False,
                 "failed_shards": [],
             },
             histograms={},
@@ -277,6 +285,7 @@ def certify_design(
                 timeout=config.timeout,
                 retries=config.retries,
                 backoff=config.backoff,
+                wall_budget=config.wall_budget,
             ),
             identity=identity,
             keys=CERTIFY_KEYS,
@@ -338,17 +347,46 @@ def certify_design(
     }
 
     n_covered = int(len(covered))
+    # Uncovered-fault-space accounting: a partial sweep (quarantined
+    # shards, exhausted wall budget, fail-fast stop) must say exactly what
+    # it did NOT check — a degraded certificate is explicit, never silent.
+    uncovered = np.setdiff1d(
+        np.asarray(indices, dtype=np.int64), covered, assume_unique=False
+    )
+    uncovered_per_stratum: dict[str, int] = {}
+    for i in uncovered:
+        model, ftype, _cycle = space.stratum(int(i))
+        bucket = f"{model}/{ftype}"
+        uncovered_per_stratum[bucket] = uncovered_per_stratum.get(bucket, 0) + 1
+    degraded = bool(uncovered.size)
+    if degraded:
+        # Sweep-derived claims hold only over the covered locations; the
+        # structural lint ran in full and stays undegraded.
+        for claim in ("dfa_detection", "sifa_uniformity"):
+            verdicts[claim] = {
+                **verdicts[claim],
+                "degraded": True,
+                "note": (
+                    f"verdict covers {n_covered} of {len(indices)} planned "
+                    f"locations; see coverage.uncovered_per_stratum"
+                ),
+            }
+
     certificate = Certificate(
         **base,
         coverage={
             "locations_total": space.total,
             "locations_planned": int(len(indices)),
             "locations_covered": n_covered,
+            "locations_uncovered": int(uncovered.size),
+            "uncovered_per_stratum": dict(sorted(uncovered_per_stratum.items())),
             "runs_executed": n_covered * runs,
             "fraction": (n_covered / space.total) if space.total else 0.0,
             "sampled": bool(len(indices) < space.total),
             "budget": config.budget,
             "stopped_early": bool(run.stopped_early),
+            "budget_exhausted": bool(run.budget_exhausted),
+            "degraded": degraded,
             "failed_shards": run.failures,
         },
         histograms={

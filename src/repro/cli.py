@@ -202,12 +202,34 @@ def _cmd_certify(args) -> int:
         jobs=args.jobs or 1,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        wall_budget=args.wall_budget,
     )
     certificate = certify_design(design, key=int(args.key, 0), config=config)
     print(certificate.summary())
     if args.out:
         certificate.save(args.out)
         print(f"certificate written to {args.out}")
+    return 0 if certificate.passed else 1
+
+
+def _cmd_verify(args) -> int:
+    """Load a certificate with full validation and report its verdicts.
+
+    Exit status: 0 = verdicts pass, 1 = a verdict failed, 3 = the document
+    itself is untrustworthy (schema/version/integrity mismatch — raised as
+    :class:`~repro.certify.certificate.CertificateError` and mapped by
+    :func:`main`).
+    """
+    from repro.certify import Certificate
+
+    certificate = Certificate.load(args.certificate)
+    print(certificate.summary())
+    if certificate.degraded:
+        print(
+            "note: certificate is DEGRADED (partial coverage); "
+            "see coverage.uncovered_per_stratum",
+            file=sys.stderr,
+        )
     return 0 if certificate.passed else 1
 
 
@@ -365,8 +387,21 @@ def build_parser() -> argparse.ArgumentParser:
     pcert.add_argument("--checkpoint-dir", default=None)
     pcert.add_argument("--resume", action="store_true")
     pcert.add_argument("--out", default=None, help="write the certificate JSON here")
+    pcert.add_argument(
+        "--wall-budget", type=float, default=None,
+        help="wall-clock budget in seconds; on exhaustion the sweep stops "
+        "scheduling and emits a valid partial (degraded) certificate",
+    )
     _add_backend_arg(pcert)
     pcert.set_defaults(fn=_cmd_certify)
+
+    pverify = sub.add_parser(
+        "verify",
+        help="validate a saved certificate (schema + checksum) and report it",
+        parents=[common],
+    )
+    pverify.add_argument("certificate", help="certificate JSON written by certify")
+    pverify.set_defaults(fn=_cmd_verify)
 
     penc = sub.add_parser(
         "encrypt", help="one protected encryption vs the spec", parents=[common]
@@ -390,7 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-#: exit status for a --resume that does not match the stored checkpoint
+#: exit status for an untrustworthy on-disk artefact: a --resume that does
+#: not match the stored checkpoint, or a certificate failing its schema
+#: version or integrity checksum
 EXIT_CHECKPOINT_MISMATCH = 3
 
 
@@ -434,6 +471,7 @@ def _configure_logging(args) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.certify import CertificateError
     from repro.faults.checkpoint import CheckpointError
     from repro.telemetry import metrics, run_manifest, trace
 
@@ -459,6 +497,11 @@ def main(argv: list[str] | None = None) -> int:
             "original run, or remove it to start fresh",
             file=sys.stderr,
         )
+        return EXIT_CHECKPOINT_MISMATCH
+    except CertificateError as exc:
+        # A certificate that fails schema or checksum validation is in the
+        # same family: the artefact on disk cannot be trusted.
+        print(f"certificate invalid: {exc}", file=sys.stderr)
         return EXIT_CHECKPOINT_MISMATCH
     finally:
         if trace_path:

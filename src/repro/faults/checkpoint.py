@@ -9,14 +9,23 @@ Layout of a checkpoint directory::
 The manifest is the source of truth for resume: it pins the campaign
 identity (scheme, key, seed, n_runs, shard size, serialised fault specs)
 and records, per shard, its run range, status (``pending`` / ``done`` /
-``failed``), attempt count, SHA-256 digest of the shard arrays, and the
-last error message.  Manifest writes are atomic (tempfile + ``os.replace``)
-so a crash mid-update never leaves a half-written ledger; a shard ``.npz``
-that is missing or fails its digest check is simply recomputed.
+``quarantined``), attempt count, SHA-256 digest of the shard arrays, the
+last error message and its :class:`~repro.resilience.errors.ErrorKind`.
 
-A manifest that cannot be parsed, or that describes a *different* campaign
-than the one being resumed, raises :class:`CheckpointError` — silently
-mixing shards from two campaigns would corrupt results.
+Crash safety: every write — the manifest *and* each shard ``.npz`` — is
+atomic (tempfile + fsync + ``os.replace`` via
+:mod:`repro.resilience.persist`), so a ``kill -9`` mid-write never leaves
+a torn artefact under the final name.  Every artefact also carries a
+content digest checked on load: a shard that fails its digest is simply
+recomputed; a manifest that fails its checksum (or cannot be parsed)
+raises :class:`CheckpointCorrupt`, which the executor treats as "no
+usable checkpoint" and recovers from by starting a fresh ledger —
+corruption costs recomputation, never a crash and never silent trust.
+
+A manifest that parses and verifies but describes a *different* campaign
+than the one being resumed raises plain :class:`CheckpointError` — that
+is an operator error (wrong directory), and silently mixing shards from
+two campaigns would corrupt results.
 """
 
 from __future__ import annotations
@@ -31,9 +40,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.chaos import chaos
+from repro.resilience.persist import atomic_write_text, sha256_bytes
 from repro.telemetry import run_manifest
 
-__all__ = ["CheckpointError", "CheckpointStore", "ShardRecord"]
+__all__ = [
+    "CheckpointCorrupt",
+    "CheckpointError",
+    "CheckpointStore",
+    "ShardRecord",
+]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -43,7 +59,17 @@ SHARD_KEYS = ("plaintext_bits", "released_bits", "expected_bits", "fault_flags")
 
 
 class CheckpointError(RuntimeError):
-    """A checkpoint directory is unreadable or belongs to another campaign."""
+    """A checkpoint directory is unusable or belongs to another campaign."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """The manifest is torn, unparseable or fails its checksum.
+
+    Recoverable: the ledger carries no results of its own (shards are
+    digest-verified independently), so the executor may start a fresh
+    ledger and recompute — as opposed to the identity mismatches plain
+    :class:`CheckpointError` signals, which need an operator decision.
+    """
 
 
 @dataclass
@@ -53,10 +79,12 @@ class ShardRecord:
     index: int
     lo: int
     hi: int
-    status: str = "pending"  # pending | done | failed
+    status: str = "pending"  # pending | done | quarantined (legacy: failed)
     attempts: int = 0
     digest: str = ""
     error: str = ""
+    #: :class:`repro.resilience.errors.ErrorKind` of the last failure
+    error_kind: str = ""
 
     @property
     def n_runs(self) -> int:
@@ -118,11 +146,21 @@ class CheckpointStore:
     def load(self, expected_config: dict | None = None) -> None:
         """Load an existing ledger, validating identity against a campaign.
 
-        Raises :class:`CheckpointError` on unparseable manifests or when
-        ``expected_config`` does not match the stored campaign identity.
+        Raises :class:`CheckpointCorrupt` on torn/unparseable/checksum-
+        failing manifests (recoverable by recreating the ledger) and plain
+        :class:`CheckpointError` when ``expected_config`` does not match
+        the stored campaign identity.
         """
         try:
             raw = json.loads(self.manifest_path.read_text())
+            stored_sum = raw.pop("checksum", None)
+            if stored_sum is not None:
+                payload = json.dumps(raw, sort_keys=True).encode()
+                if sha256_bytes(payload) != stored_sum:
+                    raise CheckpointCorrupt(
+                        f"checkpoint manifest {self.manifest_path} fails its "
+                        f"content checksum (torn write or bit-rot)"
+                    )
             if raw.get("version") != MANIFEST_VERSION:
                 raise CheckpointError(
                     f"unsupported manifest version {raw.get('version')!r} "
@@ -136,7 +174,7 @@ class CheckpointStore:
         except CheckpointError:
             raise
         except (OSError, ValueError, KeyError, TypeError) as exc:
-            raise CheckpointError(
+            raise CheckpointCorrupt(
                 f"corrupt checkpoint manifest {self.manifest_path}: {exc}"
             ) from exc
         stored_keys = tuple(raw.get("keys", SHARD_KEYS))
@@ -157,7 +195,7 @@ class CheckpointStore:
             )
 
     def flush(self) -> None:
-        """Atomically persist the ledger."""
+        """Atomically persist the ledger (with a whole-manifest checksum)."""
         payload = {
             "version": MANIFEST_VERSION,
             "campaign": self.config,
@@ -165,19 +203,14 @@ class CheckpointStore:
             "keys": list(self.keys),
             "shards": {str(i): asdict(r) for i, r in sorted(self.shards.items())},
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix=".manifest.", suffix=".tmp"
+        payload["checksum"] = sha256_bytes(
+            json.dumps(payload, sort_keys=True).encode()
         )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.manifest_path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(payload, indent=1, sort_keys=True),
+        )
+        chaos.corrupt_file("checkpoint.manifest", self.manifest_path)
 
     # ----------------------------------------------------------- shard data
 
@@ -185,12 +218,29 @@ class CheckpointStore:
         return self.directory / f"shard_{index:05d}.npz"
 
     def write_shard(self, index: int, arrays: dict[str, np.ndarray]) -> None:
-        """Persist a completed shard and mark it ``done`` in the ledger."""
+        """Atomically persist a completed shard and mark it ``done``."""
         record = self.shards[index]
-        np.savez_compressed(self.shard_path(index), **{k: arrays[k] for k in self.keys})
+        path = self.shard_path(index)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(fh, **{k: arrays[k] for k in self.keys})
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        chaos.corrupt_file("checkpoint.shard", path, index=index)
         record.status = "done"
         record.digest = shard_digest(arrays, self.keys)
         record.error = ""
+        record.error_kind = ""
         self.flush()
 
     def read_shard(self, index: int) -> dict[str, np.ndarray] | None:
@@ -214,9 +264,17 @@ class CheckpointStore:
             return None
         return arrays
 
-    def mark_failed(self, index: int, error: str, attempts: int) -> None:
+    def mark_quarantined(
+        self, index: int, error: str, attempts: int, kind: str = ""
+    ) -> None:
+        """Record a shard whose retries are exhausted (typed, structured)."""
         record = self.shards[index]
-        record.status = "failed"
+        record.status = "quarantined"
         record.error = error
+        record.error_kind = kind
         record.attempts = attempts
         self.flush()
+
+    def mark_failed(self, index: int, error: str, attempts: int) -> None:
+        """Back-compat alias for :meth:`mark_quarantined`."""
+        self.mark_quarantined(index, error, attempts)

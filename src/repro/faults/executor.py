@@ -13,18 +13,32 @@ worker pool:
   bit-identical to a single-shot run regardless of shard size, worker
   count, or how many times the campaign was interrupted and resumed.
 - **Checkpointing** — with a ``checkpoint_dir``, each finished shard is
-  persisted as an ``.npz`` plus a JSON manifest entry
+  persisted atomically as an ``.npz`` plus a JSON manifest entry
   (:mod:`repro.faults.checkpoint`); ``resume=True`` skips shards whose
-  checkpoint verifies against its digest and recomputes the rest.
+  checkpoint verifies against its digest and recomputes the rest.  A
+  manifest that fails its own checksum is *recovered from* (fresh ledger,
+  full recompute), never a crash.
 - **Supervision** — shards get a wall-clock ``timeout`` (enforced with
   ``SIGALRM`` inside the worker where available; degrading to untimed
-  execution with a one-time warning elsewhere), transient failures are
-  retried with exponential backoff, and a broken process pool is rebuilt
-  and the lost shards resubmitted.
-- **Graceful degradation** — a shard that exhausts its retries is recorded
-  as ``failed`` in the manifest and *dropped*: the campaign completes with
-  the surviving shards and ``result.partial`` set, instead of dying at
-  99%.
+  execution with a one-time warning elsewhere), a supervisor-side
+  heartbeat declares hung workers dead past ``hang_deadline`` and
+  restarts the pool, transient failures are retried with jittered
+  exponential backoff, and a broken process pool is rebuilt and the lost
+  shards resubmitted.
+- **Quarantine, not abort** — a shard that exhausts its retries is
+  *quarantined*: recorded in the manifest with its typed
+  :class:`~repro.resilience.errors.ErrorKind`, attempt count and last
+  error, and dropped from the merge.  The campaign completes with the
+  surviving shards and ``result.partial`` set, instead of dying at 99%.
+- **Graceful degradation** — an optional global ``wall_budget`` stops
+  scheduling new shards once spent; what ran is merged, what did not
+  stays ``pending`` in the manifest, and the run is flagged
+  ``budget_exhausted`` so callers (the certifier) can emit explicitly
+  degraded artefacts.
+- **Chaos-tested** — the execution sites are instrumented with
+  :data:`repro.resilience.chaos.chaos` hooks (worker crash/raise/hang,
+  checkpoint corruption, duplicated results); ``tests/test_chaos.py``
+  holds this module to the paper's own standard.
 
 Two entry points share all of that machinery: :func:`run_campaign_sharded`
 runs one fault campaign (the original API), while the generic
@@ -56,9 +70,11 @@ import numpy as np
 
 from repro.countermeasures.base import ProtectedDesign
 from repro.faults.campaign import RNG_BLOCK, CampaignResult, run_range
-from repro.faults.checkpoint import SHARD_KEYS, CheckpointStore
+from repro.faults.checkpoint import SHARD_KEYS, CheckpointCorrupt, CheckpointStore
 from repro.faults.classification import classify
 from repro.faults.models import FaultSpec
+from repro.resilience.chaos import chaos
+from repro.resilience.errors import ShardHang, classify_error
 from repro.telemetry import (
     ProgressTracker,
     enable_kernel_timings,
@@ -112,6 +128,25 @@ class ExecutorConfig:
     retries: int = 2
     #: base of the exponential backoff between attempts (seconds)
     backoff: float = 0.5
+    #: fraction of jitter on the backoff (thundering-herd damping)
+    jitter: float = 0.25
+    #: supervisor poll interval for the pool heartbeat (seconds)
+    heartbeat: float = 0.5
+    #: supervisor-side per-shard deadline after which a worker is declared
+    #: hung and the pool restarted; None derives ``2 * timeout + 5`` when a
+    #: timeout is set (hangs that defeat SIGALRM), else disabled
+    hang_deadline: float | None = None
+    #: global wall-clock budget for the whole sweep; once spent, no new
+    #: shards are scheduled and the run degrades gracefully
+    wall_budget: float | None = None
+
+    @property
+    def effective_hang_deadline(self) -> float | None:
+        if self.hang_deadline is not None:
+            return self.hang_deadline
+        if self.timeout is not None and self.timeout > 0:
+            return 2.0 * self.timeout + 5.0
+        return None
 
 
 #: once-per-process latch for the "timeout unavailable" degradation warning
@@ -127,7 +162,9 @@ def _deadline(seconds: float | None):
     run in the worker's main thread).  Where that is unavailable — off the
     main thread, or on a platform without ``SIGALRM`` (Windows) — a
     requested timeout degrades to untimed execution with a one-time
-    warning rather than crashing or being silently dropped.
+    warning rather than crashing or being silently dropped.  (The
+    supervisor's heartbeat ``hang_deadline`` is the second, independent
+    guard for pool runs.)
     """
     global _timeout_warned
     if seconds is None or seconds <= 0:
@@ -217,15 +254,17 @@ _WORKER_CTX: dict = {}
 def _worker_init(payload: bytes) -> None:
     ctx = pickle.loads(payload)
     _WORKER_CTX["ctx"] = ctx
-    # apply the parent's telemetry switches in this worker process (fork
-    # inherits them, but spawn-based pools start from clean module state)
+    # apply the parent's telemetry/chaos switches in this worker process
+    # (fork inherits them, but spawn-based pools start from clean state)
     enable_kernel_timings(ctx[3].get("kernel_metrics", False))
+    chaos.configure(ctx[4])
 
 
 def _worker_shard(index: int, lo: int, hi: int, attempt: int):
-    task, timeout, hook, tele = _WORKER_CTX["ctx"]
+    task, timeout, hook, tele, _ = _WORKER_CTX["ctx"]
     if not tele.get("capture"):
         with _deadline(timeout):
+            chaos.at("worker", index=index, attempt=attempt, in_worker=True)
             if hook is not None:
                 hook(index, attempt)
             return index, task(lo, hi), None
@@ -236,6 +275,7 @@ def _worker_shard(index: int, lo: int, hi: int, attempt: int):
     with trace.capture() as records:
         with trace.span("executor.shard", shard=index, lo=lo, hi=hi, attempt=attempt):
             with _deadline(timeout):
+                chaos.at("worker", index=index, attempt=attempt, in_worker=True)
                 if hook is not None:
                     hook(index, attempt)
                 arrays = task(lo, hi)
@@ -246,7 +286,7 @@ def _worker_shard(index: int, lo: int, hi: int, attempt: int):
 
 
 class _Supervisor:
-    """Drives shard execution: retries, backoff, checkpoint writes."""
+    """Drives shard execution: retries, backoff, quarantine, checkpoints."""
 
     def __init__(
         self,
@@ -268,15 +308,42 @@ class _Supervisor:
         self.progress = progress
         self.results: dict[int, dict[str, np.ndarray]] = {}
         self.failures: dict[int, dict] = {}
+        #: attempt counts; seeded from the checkpoint ledger on resume so
+        #: the retry budget survives interruption instead of resetting
         self.attempts: dict[int, int] = {}
         #: set once ``on_shard_done`` asks to stop (fail-fast); remaining
         #: shards are left pending, never marked failed
         self.stopped = False
+        #: set once the global wall budget runs out (graceful degradation)
+        self.budget_exhausted = False
+        self._started = time.monotonic()
 
     # -- shared bookkeeping
 
+    def _budget_spent(self) -> bool:
+        """True once the global wall budget is exhausted (latches + logs)."""
+        budget = self.config.wall_budget
+        if budget is None:
+            return False
+        if self.budget_exhausted:
+            return True
+        if time.monotonic() - self._started >= budget:
+            self.budget_exhausted = True
+            pending = len(self.ranges) - len(self.results) - len(self.failures)
+            log.warning(
+                "global wall budget of %ss exhausted; %d shard(s) left "
+                "pending — degrading gracefully to a partial result",
+                budget, pending,
+            )
+            trace.event(
+                "executor.budget_exhausted", budget_s=budget, pending=pending
+            )
+            metrics.inc("executor.budget_exhausted")
+            return True
+        return False
+
     def _advance(self, index: int, status: str) -> None:
-        """Count a shard (succeeded or permanently failed) as processed."""
+        """Count a shard (succeeded or quarantined) as processed."""
         lo, hi = self.ranges[index]
         if self.progress is not None:
             snap = self.progress.advance(hi - lo, shard=index, status=status)
@@ -292,7 +359,17 @@ class _Supervisor:
             eta_s=snap.get("eta_s"),
         )
 
-    def _succeed(self, index: int, arrays: dict[str, np.ndarray]) -> None:
+    def _succeed(
+        self, index: int, arrays: dict[str, np.ndarray], _replayed: bool = False
+    ) -> None:
+        chaos.should("supervisor.result", "delay", index=index)
+        if index in self.results:
+            # A delayed/duplicated delivery (pool races, chaos): the first
+            # result is canonical — the shard is deterministic, so the
+            # duplicate is identical; drop it with a structured event.
+            metrics.inc("executor.duplicate_results_ignored")
+            trace.event("shard.duplicate_result", shard=index)
+            return
         self.results[index] = arrays
         metrics.inc("executor.shards_completed")
         if self.store is not None:
@@ -301,9 +378,15 @@ class _Supervisor:
         self._advance(index, "done")
         if self.on_shard_done is not None and self.on_shard_done(index, arrays):
             self.stopped = True
+        if not _replayed and chaos.should(
+            "supervisor.result", "duplicate", index=index
+        ):
+            self._succeed(index, arrays, _replayed=True)
 
-    def _fail(self, index: int, exc: BaseException) -> None:
+    def _quarantine(self, index: int, exc: BaseException) -> None:
+        """Retries exhausted: record a structured, typed failure and move on."""
         lo, hi = self.ranges[index]
+        kind = classify_error(exc)
         message = f"{type(exc).__name__}: {exc}"
         tb = "".join(traceback_module.format_exception(exc))
         self.failures[index] = {
@@ -312,31 +395,36 @@ class _Supervisor:
             "hi": hi,
             "attempts": self.attempts[index],
             "error": message,
+            "error_kind": str(kind),
             "traceback": tb,
         }
         metrics.inc("executor.shards_failed")
+        metrics.inc("executor.shards_quarantined")
         log.error(
-            "shard %d (runs [%d, %d)) failed permanently after %d attempt(s): "
-            "%s\n%s",
-            index, lo, hi, self.attempts[index], message, tb,
+            "shard %d (runs [%d, %d)) quarantined after %d attempt(s) "
+            "[%s]: %s\n%s",
+            index, lo, hi, self.attempts[index], kind, message, tb,
         )
         trace.event(
-            "shard.failed",
+            "shard.quarantined",
             shard=index,
             lo=lo,
             hi=hi,
             attempts=self.attempts[index],
             error=message,
+            error_kind=str(kind),
             traceback=tb,
         )
         if self.store is not None:
-            self.store.mark_failed(index, message, self.attempts[index])
-        self._advance(index, "failed")
+            self.store.mark_quarantined(
+                index, message, self.attempts[index], str(kind)
+            )
+        self._advance(index, "quarantined")
 
     def _should_retry(self, index: int, exc: BaseException) -> bool:
         """Record the attempt; True → back off and try again."""
         if self.attempts[index] > self.config.retries:
-            self._fail(index, exc)
+            self._quarantine(index, exc)
             return False
         metrics.inc("executor.shards_retried")
         log.warning(
@@ -348,10 +436,24 @@ class _Supervisor:
             shard=index,
             attempt=self.attempts[index],
             error=f"{type(exc).__name__}: {exc}",
+            error_kind=str(classify_error(exc)),
             traceback="".join(traceback_module.format_exception(exc)),
         )
-        time.sleep(self.config.backoff * (2 ** (self.attempts[index] - 1)))
+        time.sleep(self._backoff_delay(index))
         return True
+
+    def _backoff_delay(self, index: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        The jitter fraction is a pure hash of (shard, attempt) so delays
+        de-synchronise across shards without nondeterministic state.
+        """
+        cfg = self.config
+        base = cfg.backoff * (2 ** (self.attempts[index] - 1))
+        if cfg.jitter <= 0 or base <= 0:
+            return base
+        frac = ((index * 2654435761 + self.attempts[index] * 40503) % 1000) / 1000
+        return base * (1.0 + cfg.jitter * frac)
 
     def _ingest(self, payload: dict | None) -> None:
         """Fold a worker shard's captured telemetry into this process."""
@@ -363,10 +465,10 @@ class _Supervisor:
 
     def run_serial(self, pending: list[int]) -> None:
         for index in pending:
-            if self.stopped:
+            if self.stopped or self._budget_spent():
                 return
             lo, hi = self.ranges[index]
-            self.attempts[index] = 0
+            self.attempts.setdefault(index, 0)
             while True:
                 self.attempts[index] += 1
                 try:
@@ -374,6 +476,10 @@ class _Supervisor:
                         "executor.shard",
                         shard=index, lo=lo, hi=hi, attempt=self.attempts[index],
                     ), _deadline(self.config.timeout):
+                        chaos.at(
+                            "worker", index=index,
+                            attempt=self.attempts[index], in_worker=False,
+                        )
                         if self.shard_hook is not None:
                             self.shard_hook(index, self.attempts[index])
                         arrays = self.task(lo, hi)
@@ -389,6 +495,21 @@ class _Supervisor:
 
     # -- pool path
 
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Forcibly terminate a pool whose workers are hung.
+
+        ``shutdown(cancel_futures=True)`` cannot interrupt a worker stuck
+        in C code or an unkillable sleep, so the supervisor terminates the
+        worker processes directly (stdlib keeps them in ``_processes``).
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def run_pool(self, pending: list[int]) -> None:
         cfg = self.config
         tele = {
@@ -397,7 +518,7 @@ class _Supervisor:
         }
         try:
             payload = pickle.dumps(
-                (self.task, cfg.timeout, self.shard_hook, tele)
+                (self.task, cfg.timeout, self.shard_hook, tele, chaos.spec)
             )
         except Exception as exc:
             log.warning(
@@ -408,20 +529,31 @@ class _Supervisor:
             self.run_serial(pending)
             return
 
+        hang_deadline = cfg.effective_hang_deadline
         queue = list(pending)
         for index in queue:
-            self.attempts[index] = 0
+            self.attempts.setdefault(index, 0)
         in_flight: dict = {}
+        started_at: dict = {}
         pool: ProcessPoolExecutor | None = None
         try:
-            while (queue and not self.stopped) or in_flight:
+            while (queue and not self.stopped and not self._budget_spent()) \
+                    or in_flight:
                 if pool is None:
                     pool = ProcessPoolExecutor(
                         max_workers=cfg.jobs,
                         initializer=_worker_init,
                         initargs=(payload,),
                     )
-                while queue and not self.stopped:
+                # Bounded submission: at most one in-flight shard per
+                # worker, so a submitted future is a *running* future and
+                # the heartbeat's hang clock measures actual run time.
+                while (
+                    queue
+                    and not self.stopped
+                    and len(in_flight) < cfg.jobs
+                    and not self._budget_spent()
+                ):
                     index = queue.pop(0)
                     self.attempts[index] += 1
                     lo, hi = self.ranges[index]
@@ -429,10 +561,21 @@ class _Supervisor:
                         _worker_shard, index, lo, hi, self.attempts[index]
                     )
                     in_flight[fut] = index
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    started_at[fut] = time.monotonic()
+                if not in_flight:
+                    continue
+                poll = (
+                    cfg.heartbeat
+                    if hang_deadline or cfg.wall_budget is not None
+                    else None
+                )
+                done, _ = wait(
+                    in_flight, timeout=poll, return_when=FIRST_COMPLETED
+                )
                 pool_broken = False
                 for fut in done:
                     index = in_flight.pop(fut)
+                    started_at.pop(fut, None)
                     try:
                         _, arrays, shard_telemetry = fut.result()
                     except BrokenProcessPool as exc:
@@ -445,14 +588,48 @@ class _Supervisor:
                     else:
                         self._ingest(shard_telemetry)
                         self._succeed(index, arrays)
+                if not pool_broken and hang_deadline:
+                    now = time.monotonic()
+                    hung = [
+                        fut for fut, t0 in started_at.items()
+                        if fut in in_flight and now - t0 >= hang_deadline
+                    ]
+                    if hung:
+                        # Heartbeat verdict: these workers blew well past
+                        # every deadline — declare the pool dead, requeue.
+                        pool_broken = True
+                        indices = sorted(in_flight[f] for f in hung)
+                        log.warning(
+                            "heartbeat: shard(s) %s hung past the %.1fs "
+                            "deadline; restarting the worker pool",
+                            indices, hang_deadline,
+                        )
+                        trace.event(
+                            "executor.pool_hung",
+                            shards=indices,
+                            hang_deadline_s=hang_deadline,
+                        )
+                        metrics.inc("executor.pools_restarted")
+                        self._kill_pool(pool)
+                        for fut in hung:
+                            index = in_flight.pop(fut)
+                            started_at.pop(fut, None)
+                            exc = ShardHang(
+                                f"worker hung past the {hang_deadline:.1f}s "
+                                f"heartbeat deadline"
+                            )
+                            if self._should_retry(index, exc):
+                                queue.append(index)
                 if pool_broken:
                     # The pool is unusable: every in-flight shard was lost
-                    # with it.  Re-queue (or fail) them and start a new pool.
+                    # with it.  Re-queue (or quarantine) them and start a
+                    # new pool.
                     for fut, index in list(in_flight.items()):
                         exc = BrokenProcessPool("worker pool died mid-shard")
                         if self._should_retry(index, exc):
                             queue.append(index)
                     in_flight.clear()
+                    started_at.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = None
         finally:
@@ -468,18 +645,30 @@ class ShardedRun:
     """What :func:`run_sharded` hands back to its caller."""
 
     #: shard index → the arrays its task returned (checkpoint-verified on
-    #: resume); absent indices failed or were skipped after an early stop
+    #: resume); absent indices were quarantined or skipped after a stop
     results: dict[int, dict[str, np.ndarray]]
-    #: one record per dropped shard: index/lo/hi/attempts/error
+    #: one record per quarantined shard:
+    #: index/lo/hi/attempts/error/error_kind/traceback
     failures: list[dict] = field(default_factory=list)
     #: the (lo, hi) range of every shard, by index
     ranges: list[tuple[int, int]] = field(default_factory=list)
     #: True when ``on_shard_done`` stopped the sweep before all shards ran
     stopped_early: bool = False
+    #: True when the global wall budget ran out before all shards ran
+    budget_exhausted: bool = False
 
     @property
     def complete(self) -> bool:
-        return not self.stopped_early and len(self.results) == len(self.ranges)
+        return (
+            not self.stopped_early
+            and not self.budget_exhausted
+            and len(self.results) == len(self.ranges)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Shards were lost to quarantine or the wall budget."""
+        return bool(self.failures) or self.budget_exhausted
 
     def merged(self, keys: Sequence[str]) -> dict[str, np.ndarray] | None:
         """Concatenate surviving shards in index order (None if nothing ran)."""
@@ -508,21 +697,25 @@ def run_sharded(
     The workload-agnostic core of the executor: campaigns and the coverage
     certifier both shard through here.  ``identity`` pins checkpoints to
     one exact workload (resume refuses a mismatch with
-    :class:`~repro.faults.checkpoint.CheckpointError`); ``keys`` names the
-    arrays each shard produces.  ``on_shard_done(index, arrays)`` runs in
-    the supervisor process after each shard completes (and is persisted) —
-    returning a truthy value stops the sweep early, leaving the remaining
-    shards ``pending`` in the manifest (the certifier's fail-fast).
+    :class:`~repro.faults.checkpoint.CheckpointError`; a manifest that is
+    torn or fails its checksum is recovered from with a fresh ledger);
+    ``keys`` names the arrays each shard produces.
+    ``on_shard_done(index, arrays)`` runs in the supervisor process after
+    each shard completes (and is persisted) — returning a truthy value
+    stops the sweep early, leaving the remaining shards ``pending`` in the
+    manifest (the certifier's fail-fast).
 
     ``label`` names the workload in progress lines and trace records.
     Observability: the whole sweep runs inside an ``executor.run_sharded``
     span; every shard yields an ``executor.shard`` span (captured in the
     worker for pool runs) plus ``shard.done``/``shard.retry``/
-    ``shard.failed`` events with attempt counts and tracebacks, and a
+    ``shard.quarantined`` events with attempt counts and tracebacks, and a
     live progress line with ETA is rendered on TTYs (``REPRO_PROGRESS=0``
-    disables it).
+    disables it).  Chaos injection (``REPRO_CHAOS``) is adopted here so
+    every instrumented site below sees the schedule.
     """
     config = config or ExecutorConfig()
+    chaos.configure_from_env()
     ranges = list(ranges)
     total_units = sum(hi - lo for lo, hi in ranges)
     progress = ProgressTracker(
@@ -548,20 +741,44 @@ def run_sharded(
         if config.checkpoint_dir is not None and ranges:
             store = CheckpointStore(config.checkpoint_dir, keys=keys)
             if config.resume and store.exists:
-                store.load(identity)
-                for index, record in store.shards.items():
-                    arrays = store.read_shard(index)
-                    if arrays is not None:
-                        supervisor.results[index] = arrays
+                try:
+                    store.load(identity)
+                except CheckpointCorrupt as exc:
+                    # A torn/bit-rotted ledger holds no trustworthy state:
+                    # recover by starting fresh (every shard recomputes
+                    # deterministically) instead of refusing the resume.
+                    log.warning(
+                        "checkpoint manifest unusable (%s); starting a "
+                        "fresh ledger and recomputing", exc,
+                    )
+                    trace.event("checkpoint.recovered", error=str(exc))
+                    metrics.inc("checkpoint.manifests_recovered")
+                    store.create(identity or {}, ranges)
+                else:
+                    for index, record in store.shards.items():
+                        # the retry ledger survives the interruption: a
+                        # resumed shard continues its attempt budget
                         supervisor.attempts[index] = record.attempts
-                        lo, hi = ranges[index]
-                        progress.advance(hi - lo, shard=index, status="resumed")
-                    else:
-                        # missing/corrupt archive or a previously failed
-                        # shard: recompute it (deterministically) this time
-                        record.status = "pending"
-                        record.error = ""
-                store.flush()
+                        arrays = store.read_shard(index)
+                        if arrays is not None:
+                            supervisor.results[index] = arrays
+                            lo, hi = ranges[index]
+                            progress.advance(
+                                hi - lo, shard=index, status="resumed"
+                            )
+                        else:
+                            # missing/corrupt archive or a previously
+                            # quarantined shard: recompute it
+                            # (deterministically) this time
+                            if record.status == "done":
+                                trace.event(
+                                    "checkpoint.shard_corrupt", shard=index
+                                )
+                                metrics.inc("checkpoint.shards_recomputed")
+                            record.status = "pending"
+                            record.error = ""
+                            record.error_kind = ""
+                    store.flush()
             else:
                 store.create(identity or {}, ranges)
             supervisor.store = store
@@ -584,6 +801,7 @@ def run_sharded(
         failures=[supervisor.failures[i] for i in sorted(supervisor.failures)],
         ranges=ranges,
         stopped_early=supervisor.stopped,
+        budget_exhausted=supervisor.budget_exhausted,
     )
 
 
@@ -640,7 +858,7 @@ def run_campaign_sharded(
     if failures:
         lost = sum(f["hi"] - f["lo"] for f in failures)
         log.warning(
-            "campaign completed partially: %d of %d shards failed "
+            "campaign completed partially: %d of %d shards quarantined "
             "(%d of %d runs lost); see result.extra['failed_shards']",
             len(failures), len(ranges), lost, n_runs,
         )
@@ -682,8 +900,9 @@ def run_campaign_sharded(
             "jobs": config.jobs,
             "shard_runs": shard_runs,
             "n_shards": len(ranges),
-            "partial": bool(failures),
+            "partial": bool(failures) or run.budget_exhausted,
             "failed_shards": failures,
+            "budget_exhausted": run.budget_exhausted,
             "checkpoint_dir": (
                 str(config.checkpoint_dir)
                 if config.checkpoint_dir is not None

@@ -1,0 +1,82 @@
+"""Crash-safe persistence primitives: atomic writes + content digests.
+
+Every artefact the campaign stack persists — shard ``.npz`` archives, the
+checkpoint manifest, certificates, ``BENCH_*.json`` reports — goes through
+the same two-step discipline:
+
+1. **Atomic replace** — write to a temporary file in the *same directory*
+   (same filesystem, so the final ``os.replace`` is atomic), fsync, then
+   replace.  A ``kill -9`` mid-write leaves either the old artefact or
+   nothing with the final name, never a torn file.
+2. **Content digest** — artefacts that are read back (shards,
+   certificates) carry a SHA-256 digest checked on load, so bit-rot or an
+   out-of-band edit is *detected* and handled (recompute / refuse), never
+   silently trusted.
+
+These helpers are the single implementation; the checkpoint store,
+certificate writer and benchmark reporter all call through here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "sha256_bytes",
+    "sha256_file",
+]
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path, chunk: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's contents, streamed."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while block := fh.read(chunk):
+            h.update(block)
+    return h.hexdigest()
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tempfile + fsync + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path, obj, *, indent: int | None = 2, sort_keys: bool = True
+) -> None:
+    """Serialise ``obj`` deterministically and write it atomically."""
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.attacks import sifa_attack
-from repro.faults import CampaignResult, FaultSpec, FaultType, run_campaign
+from repro.faults import (
+    RNG_BLOCK,
+    CampaignResult,
+    ExecutorConfig,
+    FaultSpec,
+    FaultType,
+    run_campaign,
+    run_campaign_sharded,
+)
 from repro.faults.models import sbox_input_net
 from tests.conftest import TEST_KEY80
 
@@ -75,3 +83,104 @@ class TestPersistence:
         path = tmp_path / "c.npz"
         result.save(path)
         assert CampaignResult.load(path).key == result.key
+
+
+def _fail_from_shard_one(index: int, attempt: int) -> None:
+    if index >= 1:
+        raise RuntimeError("injected interruption")
+
+
+class TestResumeAfterCorruption:
+    """Torn writes on checkpoint artefacts are detected and recomputed.
+
+    Persistence is atomic (tmp + ``os.replace``), so a torn write cannot
+    happen through our own code path — but power loss can still tear the
+    rename journal, and media decays.  These tests hand-tear the artefacts
+    the way a mid-write kill would and demand the resumed campaign end up
+    equal to the uninterrupted run.
+    """
+
+    N = 2 * RNG_BLOCK + RNG_BLOCK // 2  # 3 shards at shard_runs=RNG_BLOCK
+
+    def _fault(self, naive_design, present_spec):
+        net = sbox_input_net(naive_design.cores[0], 7, 1)
+        return FaultSpec.at(net, FaultType.STUCK_AT_0, present_spec.rounds - 2)
+
+    @pytest.fixture(scope="class")
+    def uninterrupted(self, naive_design, present_spec):
+        fault = self._fault(naive_design, present_spec)
+        return run_campaign(
+            naive_design, [fault], n_runs=self.N, key=TEST_KEY80, seed=21
+        )
+
+    def _assert_equal(self, a, b):
+        assert (a.released_bits == b.released_bits).all()
+        assert (a.fault_flags == b.fault_flags).all()
+        assert (a.outcomes == b.outcomes).all()
+
+    def _checkpointed(self, naive_design, present_spec, ck, **kwargs):
+        fault = self._fault(naive_design, present_spec)
+        return run_campaign_sharded(
+            naive_design, [fault], n_runs=self.N, key=TEST_KEY80, seed=21,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+                retries=0, backoff=0.0, **kwargs,
+            ),
+        )
+
+    def _resume(self, naive_design, present_spec, ck):
+        fault = self._fault(naive_design, present_spec)
+        return run_campaign_sharded(
+            naive_design, [fault], n_runs=self.N, key=TEST_KEY80, seed=21,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+                retries=0, backoff=0.0, resume=True,
+            ),
+        )
+
+    def test_truncated_shard_archive_is_recomputed(
+        self, naive_design, present_spec, uninterrupted, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        shard = ck / "shard_00001.npz"
+        shard.write_bytes(shard.read_bytes()[: shard.stat().st_size // 2])
+        resumed = self._resume(naive_design, present_spec, ck)
+        assert not resumed.partial
+        self._assert_equal(resumed, uninterrupted)
+
+    def test_truncated_manifest_is_recovered(
+        self, naive_design, present_spec, uninterrupted, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        manifest = ck / "manifest.json"
+        text = manifest.read_text()
+        manifest.write_text(text[: len(text) // 2])  # torn mid-write
+        resumed = self._resume(naive_design, present_spec, ck)
+        assert not resumed.partial
+        self._assert_equal(resumed, uninterrupted)
+
+    def test_interrupted_run_with_torn_artefacts_completes(
+        self, naive_design, present_spec, uninterrupted, tmp_path
+    ):
+        """The worst case: killed mid-campaign AND both artefact kinds torn."""
+        ck = tmp_path / "ck"
+        fault = self._fault(naive_design, present_spec)
+        partial = run_campaign_sharded(
+            naive_design, [fault], n_runs=self.N, key=TEST_KEY80, seed=21,
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+                retries=0, backoff=0.0,
+            ),
+            shard_hook=_fail_from_shard_one,
+        )
+        assert partial.partial  # only shard 0 completed
+        shard = ck / "shard_00000.npz"
+        shard.write_bytes(shard.read_bytes()[: shard.stat().st_size // 2])
+        manifest = ck / "manifest.json"
+        text = manifest.read_text()
+        manifest.write_text(text[: len(text) // 2])
+        resumed = self._resume(naive_design, present_spec, ck)
+        assert not resumed.partial
+        self._assert_equal(resumed, uninterrupted)

@@ -244,3 +244,130 @@ class TestCertify:
             ),
         )
         assert cert.verdicts["sifa_uniformity"]["status"] == "not_applicable"
+
+    def test_wall_budget_emits_valid_degraded_certificate(self, ours2, tmp_path):
+        """An exhausted wall budget degrades gracefully: the certificate is
+        still valid (and loadable), but says exactly what it did not cover."""
+        cert = certify_design(
+            ours2,
+            key=KEY,
+            config=CertifyConfig(
+                budget=512, runs_per_location=16, seed=3, wall_budget=0.0
+            ),
+        )
+        assert cert.degraded
+        cov = cert.coverage
+        assert cov["degraded"] and cov["budget_exhausted"]
+        assert cov["locations_covered"] == 0
+        assert cov["locations_uncovered"] == cov["locations_planned"] > 0
+        assert sum(cov["uncovered_per_stratum"].values()) == (
+            cov["locations_uncovered"]
+        )
+        for claim in ("dfa_detection", "sifa_uniformity"):
+            assert cert.verdicts[claim].get("degraded") is True
+            assert "uncovered_per_stratum" in cert.verdicts[claim]["note"]
+        assert "DEGRADED" in cert.summary()
+        # degraded certificates still save/load with a passing checksum
+        path = tmp_path / "degraded.json"
+        cert.save(path)
+        assert Certificate.load(path).degraded
+
+
+@pytest.fixture(scope="module")
+def saved_cert(ours2, tmp_path_factory):
+    cert = certify_design(
+        ours2,
+        key=KEY,
+        config=CertifyConfig(
+            budget=128, runs_per_location=16, models=("coupled",), seed=3
+        ),
+    )
+    path = tmp_path_factory.mktemp("cert") / "cert.json"
+    cert.save(path)
+    return cert, path
+
+
+class TestCertificateIntegrity:
+    """Certificate.load validates schema version + checksum (exit code 3)."""
+
+    def test_save_embeds_integrity_block(self, saved_cert):
+        import json
+
+        _, path = saved_cert
+        doc = json.loads(path.read_text())
+        assert doc["integrity"]["algorithm"] == "sha256"
+        assert len(doc["integrity"]["digest"]) == 64
+        Certificate.load(path)  # verifies the digest
+
+    def test_tampered_certificate_rejected(self, saved_cert, tmp_path):
+        from repro.certify import CertificateError
+
+        cert, path = saved_cert
+        # flip the overall verdict — exactly the edit integrity must catch
+        text = path.read_text()
+        tampered = tmp_path / "tampered.json"
+        assert '"status": "pass"' in text
+        tampered.write_text(
+            text.replace('"status": "pass"', '"status": "fail"', 1)
+        )
+        with pytest.raises(CertificateError, match="integrity checksum"):
+            Certificate.load(tampered)
+
+    def test_unsupported_version_rejected(self, saved_cert, tmp_path):
+        import json
+
+        from repro.certify import CertificateError
+
+        cert, path = saved_cert
+        doc = json.loads(path.read_text())
+        doc.pop("integrity")
+        doc["version"] = 99
+        bumped = tmp_path / "v99.json"
+        bumped.write_text(json.dumps(doc))
+        with pytest.raises(CertificateError, match="version"):
+            Certificate.load(bumped)
+
+    def test_legacy_certificate_without_integrity_loads(
+        self, saved_cert, tmp_path
+    ):
+        import json
+
+        cert, path = saved_cert
+        doc = json.loads(path.read_text())
+        doc.pop("integrity")
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps(doc))
+        assert Certificate.load(legacy).render() == cert.render()
+
+    def test_unreadable_documents_rejected(self, tmp_path):
+        from repro.certify import CertificateError
+
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"version": 1, "sch')  # torn mid-write
+        with pytest.raises(CertificateError, match="unreadable"):
+            Certificate.load(torn)
+        with pytest.raises(CertificateError, match="unreadable"):
+            Certificate.load(tmp_path / "missing.json")
+        not_obj = tmp_path / "list.json"
+        not_obj.write_text("[1, 2]")
+        with pytest.raises(CertificateError, match="not a JSON object"):
+            Certificate.load(not_obj)
+        hollow = tmp_path / "hollow.json"
+        hollow.write_text('{"version": 1}')
+        with pytest.raises(CertificateError, match="malformed"):
+            Certificate.load(hollow)
+
+    def test_cli_verify_maps_integrity_failure_to_exit_3(
+        self, saved_cert, tmp_path, capsys
+    ):
+        from repro.cli import EXIT_CHECKPOINT_MISMATCH, main
+
+        cert, path = saved_cert
+        assert main(["verify", str(path)]) == (0 if cert.passed else 1)
+        out = capsys.readouterr().out
+        assert "certificate:" in out
+
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(path.read_text().replace('"rounds": 2', '"rounds": 3'))
+        assert main(["verify", str(tampered)]) == EXIT_CHECKPOINT_MISMATCH
+        assert "certificate invalid" in capsys.readouterr().err

@@ -203,20 +203,22 @@ class TestSupervision:
         # the permanent failure is logged with its captured traceback
         assert "injected persistent failure" in caplog.text
         assert "Traceback" in caplog.text
-        # shard 0 dropped, the surviving shards are exactly runs [1024, 2560)
+        # shard 0 quarantined, the surviving shards are runs [1024, 2560)
         assert result.partial
         assert result.n_runs == N_RUNS - RNG_BLOCK
         [failure] = result.extra["failed_shards"]
         assert failure["index"] == 0
         assert failure["attempts"] == 2  # first attempt + one retry
+        assert failure["error_kind"] == "permanent"
         assert "injected persistent failure" in failure["error"]
         assert "injected persistent failure" in failure["traceback"]
         assert (result.released_bits == single_shot.released_bits[RNG_BLOCK:]).all()
 
         store = CheckpointStore(ck)
         store.load()
-        assert store.shards[0].status == "failed"
+        assert store.shards[0].status == "quarantined"
         assert store.shards[0].attempts == 2
+        assert store.shards[0].error_kind == "permanent"
 
     def test_shard_timeout_enforced(self, naive_design, present_spec):
         fault = _fault(naive_design, present_spec)
@@ -239,16 +241,58 @@ class TestCheckpointIntegrity:
             shard_runs=RNG_BLOCK, checkpoint_dir=ck,
         )
 
-    def test_corrupt_manifest_raises(self, naive_design, present_spec, tmp_path):
+    def test_corrupt_manifest_recovers_with_fresh_ledger(
+        self, naive_design, present_spec, single_shot, tmp_path, caplog
+    ):
+        """An unparseable manifest is recovered from, not crashed on.
+
+        The ledger carries no results of its own, so the executor starts a
+        fresh one and recomputes — the campaign still completes and is
+        bit-identical to the uninterrupted run.
+        """
         ck = tmp_path / "ck"
         self._checkpointed(naive_design, present_spec, ck)
         (ck / "manifest.json").write_text("{ this is not json")
         fault = _fault(naive_design, present_spec)
-        with pytest.raises(CheckpointError, match="corrupt"):
-            run_campaign(
+        with caplog.at_level(logging.WARNING, logger="repro.faults.executor"):
+            resumed = run_campaign(
                 naive_design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
                 shard_runs=RNG_BLOCK, checkpoint_dir=ck, resume=True,
             )
+        assert "fresh ledger" in caplog.text
+        _assert_identical(resumed, single_shot)
+        store = CheckpointStore(ck)
+        store.load()  # the recovered ledger parses and verifies again
+        assert all(r.status == "done" for r in store.shards.values())
+
+    def test_direct_load_of_corrupt_manifest_raises(
+        self, naive_design, present_spec, tmp_path
+    ):
+        from repro.faults.checkpoint import CheckpointCorrupt
+
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        (ck / "manifest.json").write_text("{ this is not json")
+        store = CheckpointStore(ck)
+        with pytest.raises(CheckpointCorrupt, match="corrupt"):
+            store.load()
+        # CheckpointCorrupt is a CheckpointError: old callers still catch it
+        assert issubclass(CheckpointCorrupt, CheckpointError)
+
+    def test_manifest_checksum_detects_bitrot(
+        self, naive_design, present_spec, tmp_path
+    ):
+        from repro.faults.checkpoint import CheckpointCorrupt
+
+        ck = tmp_path / "ck"
+        self._checkpointed(naive_design, present_spec, ck)
+        # valid JSON, silently edited: the whole-manifest checksum catches
+        # what a parse cannot
+        raw = (ck / "manifest.json").read_text().replace(str(SEED), "99", 1)
+        (ck / "manifest.json").write_text(raw)
+        store = CheckpointStore(ck)
+        with pytest.raises(CheckpointCorrupt, match="checksum"):
+            store.load()
 
     def test_foreign_campaign_rejected(self, naive_design, present_spec, tmp_path):
         ck = tmp_path / "ck"
