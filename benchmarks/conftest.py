@@ -19,6 +19,12 @@ Scale knobs (environment variables):
     When set, those campaigns checkpoint their shards under this directory
     and *resume* from whatever a previous (killed, OOMed, ^C'd) benchmark
     run already computed.
+
+``REPRO_BENCH_OUT``
+    Artefact output directory.  Defaults to ``benchmarks/out/`` resolved
+    against *this file's* location (never the process CWD, so running
+    pytest from anywhere — including an installed ``src/`` tree — cannot
+    scatter ``BENCH_*.json`` files into the package).
 """
 
 from __future__ import annotations
@@ -36,12 +42,15 @@ BENCH_KEY = 0x8F4E2D1C0B5A69783746
 BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "1")) or None
 BENCH_CHECKPOINT_DIR = os.environ.get("REPRO_CHECKPOINT_DIR") or None
 
-OUT_DIR = pathlib.Path(__file__).parent / "out"
+OUT_DIR = pathlib.Path(
+    os.environ.get("REPRO_BENCH_OUT")
+    or pathlib.Path(__file__).resolve().parent / "out"
+).resolve()
 
 
 @pytest.fixture(scope="session")
 def artifact_dir() -> pathlib.Path:
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     return OUT_DIR
 
 

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sca    --traces 500
     python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
     python -m repro fig4 --runs 4000 --backend reference   # per-gate oracle kernel
+    python -m repro fig4 --runs 80000 --backend compiled   # AOT-codegen kernel
 
 Each subcommand prints the same artefact the corresponding benchmark
 produces; the CLI exists so a reader can poke at the reproduction without
@@ -267,8 +268,9 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
 
     parser.add_argument(
         "--backend", default=None, choices=list(BACKENDS),
-        help="simulation kernel: levelized (fast, default) or reference "
-        "(per-gate oracle); results are bit-identical",
+        help="simulation kernel: levelized (fast, default), compiled "
+        "(fastest, AOT-generated) or reference (per-gate oracle); "
+        "results are bit-identical",
     )
 
 

@@ -42,7 +42,13 @@ from repro.netlist.gates import GateType
 from repro.telemetry.metrics import kernel_timings_enabled
 from repro.telemetry.metrics import metrics as _metrics
 
-__all__ = ["LevelGroup", "LevelSchedule", "LevelizedKernel", "compile_schedule"]
+__all__ = [
+    "LevelGroup",
+    "LevelSchedule",
+    "LevelizedKernel",
+    "compile_schedule",
+    "faults_by_level",
+]
 
 Transform = Callable[[np.ndarray], np.ndarray]
 
@@ -144,6 +150,29 @@ def compile_schedule(circuit: Circuit) -> LevelSchedule:
     return schedule
 
 
+def faults_by_level(
+    schedule: LevelSchedule, fault_map: Mapping[int, Transform]
+) -> dict[int, list[tuple[int, int, Transform]]]:
+    """Group gate-output transforms by producing level, program-ordered.
+
+    Nets in ``fault_map`` that no combinational gate drives (source nets,
+    unknown nets) are ignored here — exactly like the reference
+    interpreter's per-gate ``fault_map.get(out)`` probe.  Shared by the
+    levelized and compiled kernels, which both replay transforms at level
+    boundaries in reference program order.
+    """
+    out_level = schedule.out_level
+    out_pos = schedule.out_pos
+    per_level: dict[int, list[tuple[int, int, Transform]]] = {}
+    for net, transform in fault_map.items():
+        level = out_level.get(net)
+        if level is not None:
+            per_level.setdefault(level, []).append((out_pos[net], net, transform))
+    for entries in per_level.values():
+        entries.sort()
+    return per_level
+
+
 class LevelizedKernel:
     """Executes a :class:`LevelSchedule` over a packed value matrix.
 
@@ -212,24 +241,7 @@ class LevelizedKernel:
     def _faults_by_level(
         self, fault_map: Mapping[int, Transform]
     ) -> dict[int, list[tuple[int, int, Transform]]]:
-        """Group gate-output transforms by producing level, program-ordered.
-
-        Nets in ``fault_map`` that no combinational gate drives (source
-        nets, unknown nets) are ignored here — exactly like the reference
-        interpreter's per-gate ``fault_map.get(out)`` probe.
-        """
-        out_level = self.schedule.out_level
-        out_pos = self.schedule.out_pos
-        per_level: dict[int, list[tuple[int, int, Transform]]] = {}
-        for net, transform in fault_map.items():
-            level = out_level.get(net)
-            if level is not None:
-                per_level.setdefault(level, []).append(
-                    (out_pos[net], net, transform)
-                )
-        for entries in per_level.values():
-            entries.sort()
-        return per_level
+        return faults_by_level(self.schedule, fault_map)
 
     def _eval_group(self, group: LevelGroup, vals: np.ndarray) -> None:
         # Plain fancy-index gathers measure faster than np.take(..., out=)

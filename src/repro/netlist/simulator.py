@@ -13,13 +13,21 @@ net is produced (source nets at the start of the cycle, gate outputs right
 after evaluation).  This mirrors VerFI's semantics: the corrupted value is
 seen by the entire fanout, including flip-flop D pins, within that cycle.
 
-Two interchangeable evaluation kernels implement those semantics: the
-per-gate *reference* interpreter in this module (the executable spec) and
+Three interchangeable evaluation kernels implement those semantics: the
+per-gate *reference* interpreter in this module (the executable spec),
 the levelized opcode-batched kernel of :mod:`repro.netlist.levelized`
-(the fast default), selectable via ``Simulator(..., backend=...)`` or the
-``REPRO_SIM_BACKEND`` environment variable.  They are bit-exact against
-each other — enforced by the differential property suite in
+(the fast default), and the ahead-of-time generated-code kernel of
+:mod:`repro.netlist.compiled` (the fastest), selectable via
+``Simulator(..., backend=...)`` or the ``REPRO_SIM_BACKEND`` environment
+variable.  They are bit-exact against each other — enforced by the
+three-way differential property suite in
 ``tests/test_simulator_equivalence.py``.
+
+The compiled kernel stores net values in a program-order *permutation* of
+the net ids (so group outputs are contiguous and scatters vanish); the
+simulator therefore routes every net-indexed access — ports, faults,
+readout — through the active kernel's row map, keeping net ids the only
+externally visible addressing scheme for all backends.
 """
 
 from __future__ import annotations
@@ -48,11 +56,17 @@ __all__ = [
 Transform = Callable[[np.ndarray], np.ndarray]
 
 #: selectable evaluation kernels: the per-gate reference interpreter (the
-#: semantic oracle) and the levelized opcode-batched kernel (the fast path)
-BACKENDS = ("levelized", "reference")
+#: semantic oracle), the levelized opcode-batched kernel (the fast path),
+#: and the AOT-generated straight-line kernel (the fastest path)
+BACKENDS = ("levelized", "compiled", "reference")
 
 #: default backend; overridable process-wide via ``REPRO_SIM_BACKEND``
 DEFAULT_BACKEND = "levelized"
+
+
+#: shared empty fault map for fault-free cycles — keeps the steady-state
+#: loop literally allocation-free (asserted in tests/test_compiled_kernel.py)
+_NO_FAULTS: Mapping[int, "Transform"] = {}
 
 
 def resolve_backend(backend: str | None) -> str:
@@ -114,14 +128,17 @@ class Simulator:
     backend:
         ``"levelized"`` (default) evaluates the circuit with the
         opcode-batched level kernel (:mod:`repro.netlist.levelized`);
-        ``"reference"`` uses the per-gate interpreter below, which is the
-        executable definition of the simulation semantics and the oracle
-        the levelized kernel is differentially tested against.  ``None``
-        honours the ``REPRO_SIM_BACKEND`` environment variable.  Both
-        backends are bit-exact for every net, batch size and fault map.
+        ``"compiled"`` runs the ahead-of-time generated straight-line
+        kernel (:mod:`repro.netlist.compiled`), the fastest path at
+        campaign batch sizes; ``"reference"`` uses the per-gate
+        interpreter below, which is the executable definition of the
+        simulation semantics and the oracle the fast kernels are
+        differentially tested against.  ``None`` honours the
+        ``REPRO_SIM_BACKEND`` environment variable.  All backends are
+        bit-exact for every net, batch size and fault map.
 
-    Fault-ordering contract (shared by both backends)
-    -------------------------------------------------
+    Fault-ordering contract (shared by all backends)
+    ------------------------------------------------
     Within one :meth:`eval_comb` call, effects apply in exactly this
     order:
 
@@ -162,14 +179,16 @@ class Simulator:
         self.backend = resolve_backend(backend)
         self.cycle = 0
 
-        # opcode program: (op, out, in0, in1, in2)
+        # opcode program: (op, out, in0, in1, in2) — the reference
+        # interpreter's representation; the fast kernels compile their own
         self._program: list[tuple[int, int, int, int, int]] = []
-        for gate in circuit.topo_order():
-            op = _OPCODE[gate.gtype]
-            a = gate.ins[0]
-            b = gate.ins[1] if len(gate.ins) > 1 else 0
-            c = gate.ins[2] if len(gate.ins) > 2 else 0
-            self._program.append((op, gate.out, a, b, c))
+        if self.backend == "reference":
+            for gate in circuit.topo_order():
+                op = _OPCODE[gate.gtype]
+                a = gate.ins[0]
+                b = gate.ins[1] if len(gate.ins) > 1 else 0
+                c = gate.ins[2] if len(gate.ins) > 2 else 0
+                self._program.append((op, gate.out, a, b, c))
 
         self._dff_d = np.array([g.ins[0] for g in circuit.dffs()], dtype=np.intp)
         self._dff_q = np.array([g.out for g in circuit.dffs()], dtype=np.intp)
@@ -187,14 +206,38 @@ class Simulator:
             | set(int(q) for q in self._dff_q)
         )
 
+        # The active kernel, and the net-id -> matrix-row map when the
+        # kernel permutes storage (None = identity, rows are net ids).
         self._kernel = None
+        self._compiled = None
+        self._row_of: np.ndarray | None = None
+        self._port_rows: dict[str, np.ndarray] = {}
         if self.backend == "levelized":
             from repro.netlist.levelized import LevelizedKernel, compile_schedule
 
             self._kernel = LevelizedKernel(compile_schedule(circuit), self.n_words)
+            self._vals = np.zeros((circuit.num_nets, self.n_words), dtype=np.uint64)
+        elif self.backend == "compiled":
+            from repro.netlist.compiled import CompiledKernel, compile_program
+
+            self._compiled = CompiledKernel(compile_program(circuit), self.n_words)
+            self._kernel = self._compiled
+            self._row_of = self._compiled.row_of
+            # adopt the kernel's program-order matrix as the value store
+            self._vals = self._compiled.vals
+        else:
+            self._vals = np.zeros((circuit.num_nets, self.n_words), dtype=np.uint64)
+
+        if self._row_of is None:
+            self._dff_q_rows = self._dff_q
+            self._const1_rows = np.array(self._const1_nets, dtype=np.intp)
+        else:
+            self._dff_q_rows = self._row_of[self._dff_q]
+            self._const1_rows = self._row_of[
+                np.array(self._const1_nets, dtype=np.intp)
+            ]
 
         self._schedules: dict[str, object] = {}
-        self._vals = np.zeros((circuit.num_nets, self.n_words), dtype=np.uint64)
         self.reset()
 
     # ------------------------------------------------------------ lifecycle
@@ -204,24 +247,27 @@ class Simulator:
         self.cycle = 0
         self._vals.fill(0)
         ones = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
-        for net in self._const1_nets:
-            self._vals[net].fill(ones)
+        for row in self._const1_rows:
+            self._vals[row].fill(ones)
         if len(self._dff_q):
             init_rows = np.where(self._dff_init[:, None].astype(bool), ones, 0)
-            self._vals[self._dff_q] = init_rows.astype(np.uint64)
+            self._vals[self._dff_q_rows] = init_rows.astype(np.uint64)
 
     # --------------------------------------------------------------- inputs
 
     def set_input_bits(self, name: str, bits: np.ndarray) -> None:
         """Drive an input port from a ``(batch, width)`` 0/1 matrix."""
-        nets = self._input_nets(name)
+        rows = self._port_rows.get(name)
+        if rows is None:
+            rows = self._net_rows(self._input_nets(name))
+            self._port_rows[name] = rows
         bits = np.asarray(bits, dtype=np.uint8)
-        if bits.shape != (self.batch, len(nets)):
+        if bits.shape != (self.batch, len(rows)):
             raise ValueError(
-                f"input {name!r} expects shape {(self.batch, len(nets))}, "
+                f"input {name!r} expects shape {(self.batch, len(rows))}, "
                 f"got {bits.shape}"
             )
-        self._vals[np.array(nets, dtype=np.intp)] = pack_bits(bits)
+        self._vals[rows] = pack_bits(bits)
 
     def set_input_ints(self, name: str, values: Sequence[int]) -> None:
         """Drive an input port with one integer per run (LSB-first bits)."""
@@ -252,8 +298,10 @@ class Simulator:
         """Drive an input port with the same integer in every lane."""
         nets = self._input_nets(name)
         ones = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+        row_of = self._row_of
         for i, net in enumerate(nets):
-            self._vals[net].fill(ones if (value >> i) & 1 else 0)
+            row = net if row_of is None else row_of[net]
+            self._vals[row].fill(ones if (value >> i) & 1 else 0)
 
     def _input_nets(self, name: str) -> list[int]:
         try:
@@ -262,6 +310,11 @@ class Simulator:
             raise KeyError(
                 f"no input port {name!r}; ports: {sorted(self.circuit.inputs)}"
             ) from None
+
+    def _net_rows(self, nets: Sequence[int]) -> np.ndarray:
+        """Matrix rows for the given net ids under the active kernel."""
+        idx = np.array(list(nets), dtype=np.intp)
+        return idx if self._row_of is None else self._row_of[idx]
 
     # ------------------------------------------------------------ evaluation
 
@@ -277,13 +330,17 @@ class Simulator:
             self.set_input_bits(name, provider(self.cycle))
         vals = self._vals
         fault_map: Mapping[int, Transform] = (
-            self.faults.for_cycle(self.cycle) if self.faults is not None else {}
+            self.faults.for_cycle(self.cycle)
+            if self.faults is not None
+            else _NO_FAULTS
         )
         if fault_map:
+            row_of = self._row_of
             for net in self._source_nets:
                 transform = fault_map.get(net)
                 if transform is not None:
-                    vals[net] = transform(vals[net])
+                    row = net if row_of is None else row_of[net]
+                    vals[row] = transform(vals[row])
         if self._kernel is not None:
             self._kernel.run(vals, fault_map if fault_map else None)
         elif kernel_timings_enabled():
@@ -352,7 +409,9 @@ class Simulator:
     def step(self) -> None:
         """One full clock cycle: evaluate logic, then latch every DFF."""
         self.eval_comb()
-        if len(self._dff_q):
+        if self._compiled is not None:
+            self._compiled.latch()
+        elif len(self._dff_q):
             self._vals[self._dff_q] = self._vals[self._dff_d]
         self.cycle += 1
 
@@ -369,11 +428,11 @@ class Simulator:
         Values reflect the last :meth:`eval_comb`; call it (or :meth:`step`)
         first if inputs changed.
         """
-        return self._vals[np.array(list(nets), dtype=np.intp)].copy()
+        return self._vals[self._net_rows(nets)].copy()
 
     def get_nets_bits(self, nets: Sequence[int]) -> np.ndarray:
         """Net values as a ``(batch, len(nets))`` 0/1 matrix."""
-        return unpack_bits(self._vals[np.array(list(nets), dtype=np.intp)], self.batch)
+        return unpack_bits(self._vals[self._net_rows(nets)], self.batch)
 
     def get_output_bits(self, name: str) -> np.ndarray:
         """Output port as a ``(batch, width)`` 0/1 matrix (LSB-first)."""

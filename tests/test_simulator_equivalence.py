@@ -1,14 +1,18 @@
-"""Differential testing: the levelized kernel vs the reference interpreter.
+"""Differential testing: the fast kernels vs the reference interpreter.
 
 The per-gate interpreter in :mod:`repro.netlist.simulator` is the
 executable definition of the simulation semantics (itself property-tested
 against the scalar ``GateType.eval`` in ``test_simulator.py``).  The
-levelized opcode-batched kernel must be *bit-exact* against it — for every
-net, every lane (including the padding lanes of non-multiple-of-64
-batches), every cycle, with and without faults.  This suite enforces that
-over hundreds of seeded random sequential circuits, plus targeted
-regression tests pinning the fault-ordering contract both backends share
-(see the :class:`~repro.netlist.simulator.Simulator` docstring).
+levelized opcode-batched kernel *and* the compiled generated-code kernel
+must be *bit-exact* against it — for every net, every lane (including the
+padding lanes of non-multiple-of-64 batches), every cycle, with and
+without faults.  This suite enforces that three-way over hundreds of
+seeded random sequential circuits, plus targeted regression tests pinning
+the fault-ordering contract all backends share (see the
+:class:`~repro.netlist.simulator.Simulator` docstring).  Net state is
+compared through :meth:`Simulator.get_nets_packed`, the net-id-addressed
+readout every backend must honour regardless of its internal storage
+layout (the compiled kernel permutes rows).
 
 The deep sweep (larger circuits, bigger batches, longer runs) is marked
 ``slow``; the scheduled CI job runs it, the per-PR job skips it.
@@ -103,7 +107,7 @@ class RandomFaults:
 
 
 def assert_backends_agree(circuit: Circuit, batch: int, cycles: int, faults=None, schedule=None):
-    """Step both backends in lockstep and compare the full net matrix."""
+    """Step every backend in lockstep against the reference oracle."""
     sims = {}
     for backend in BACKENDS:
         sim = Simulator(circuit, batch, faults=faults, backend=backend)
@@ -113,20 +117,27 @@ def assert_backends_agree(circuit: Circuit, batch: int, cycles: int, faults=None
             width = len(circuit.inputs["x"])
             sim.set_input_ints("x", [(i * 2654435761) % (1 << width) for i in range(batch)])
         sims[backend] = sim
-    ref, lev = sims["reference"], sims["levelized"]
+    ref = sims.pop("reference")
+    all_nets = range(circuit.num_nets)
     for cycle in range(cycles):
         ref.step()
-        lev.step()
-        np.testing.assert_array_equal(
-            ref._vals, lev._vals,
-            err_msg=f"net matrices diverge after cycle {cycle}",
-        )
+        want = ref.get_nets_packed(all_nets)
+        for backend, sim in sims.items():
+            sim.step()
+            np.testing.assert_array_equal(
+                want, sim.get_nets_packed(all_nets),
+                err_msg=f"{backend} diverges from reference after cycle {cycle}",
+            )
     ref.eval_comb()
-    lev.eval_comb()
-    np.testing.assert_array_equal(ref._vals, lev._vals)
-    np.testing.assert_array_equal(
-        ref.get_output_bits("y"), lev.get_output_bits("y")
-    )
+    want = ref.get_nets_packed(all_nets)
+    want_y = ref.get_output_bits("y")
+    for backend, sim in sims.items():
+        sim.eval_comb()
+        np.testing.assert_array_equal(
+            want, sim.get_nets_packed(all_nets),
+            err_msg=f"{backend} diverges from reference on final eval_comb",
+        )
+        np.testing.assert_array_equal(want_y, sim.get_output_bits("y"))
 
 
 def run_equivalence_case(seed: int, *, n_gates_hi: int, cycles_hi: int, batches=BATCHES):
@@ -164,14 +175,15 @@ def run_equivalence_case(seed: int, *, n_gates_hi: int, cycles_hi: int, batches=
 
 
 @pytest.mark.parametrize("seed", range(200))
-def test_levelized_matches_reference(seed):
-    """200 seeded random circuits, clean + two fault regimes each."""
+def test_fast_backends_match_reference(seed):
+    """200 seeded random circuits, clean + two fault regimes each,
+    three-way (reference ↔ levelized ↔ compiled)."""
     run_equivalence_case(seed, n_gates_hi=60, cycles_hi=7)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(1000, 1100))
-def test_levelized_matches_reference_deep(seed):
+def test_fast_backends_match_reference_deep(seed):
     """Deep sweep: bigger circuits, longer runs (scheduled CI job)."""
     run_equivalence_case(seed, n_gates_hi=250, cycles_hi=16, batches=[63, 129, 512, 1000])
 
@@ -291,7 +303,7 @@ def reduced_design():
 
 
 class TestCampaignEquivalence:
-    """End-to-end: identical CampaignResult under both backends."""
+    """End-to-end: identical CampaignResult under every backend."""
 
     def test_reduced_round_campaign_histograms_identical(self, reduced_design):
         design = reduced_design
@@ -308,16 +320,20 @@ class TestCampaignEquivalence:
             )
             for backend in BACKENDS
         }
-        ref, lev = results["reference"], results["levelized"]
-        assert ref.counts() == lev.counts()
-        np.testing.assert_array_equal(ref.outcomes, lev.outcomes)
-        np.testing.assert_array_equal(ref.released_bits, lev.released_bits)
-        np.testing.assert_array_equal(ref.expected_bits, lev.expected_bits)
-        np.testing.assert_array_equal(ref.plaintext_bits, lev.plaintext_bits)
-        np.testing.assert_array_equal(ref.fault_flags, lev.fault_flags)
+        ref = results.pop("reference")
+        for backend, got in results.items():
+            assert ref.counts() == got.counts(), backend
+            np.testing.assert_array_equal(ref.outcomes, got.outcomes)
+            np.testing.assert_array_equal(ref.released_bits, got.released_bits)
+            np.testing.assert_array_equal(ref.expected_bits, got.expected_bits)
+            np.testing.assert_array_equal(ref.plaintext_bits, got.plaintext_bits)
+            np.testing.assert_array_equal(ref.fault_flags, got.fault_flags)
 
-    def test_sharded_levelized_equals_single_shot_reference(self, reduced_design, tmp_path):
-        """The executor path (levelized workers) vs one-shot reference."""
+    @pytest.mark.parametrize("backend", ["levelized", "compiled"])
+    def test_sharded_fast_backend_equals_single_shot_reference(
+        self, reduced_design, tmp_path, backend
+    ):
+        """The executor path (fast-kernel workers) vs one-shot reference."""
         design = reduced_design
         core = design.cores[0]
         specs = [
@@ -335,9 +351,9 @@ class TestCampaignEquivalence:
             n_runs=2048,
             key=key,
             seed=3,
-            backend="levelized",
+            backend=backend,
             shard_runs=1024,
-            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_dir=tmp_path / f"ckpt-{backend}",
         )
         assert single.counts() == sharded.counts()
         np.testing.assert_array_equal(single.outcomes, sharded.outcomes)
