@@ -35,7 +35,7 @@ from repro.certify.space import (
 from repro.countermeasures.base import ProtectedDesign, RecoveryPolicy
 from repro.faults.campaign import run_campaign, run_range
 from repro.faults.classification import Outcome, classify
-from repro.faults.executor import ExecutorConfig, run_sharded
+from repro.faults.executor import ExecutorConfig, prewarm_backend, run_sharded
 from repro.faults.models import FaultScenario
 from repro.netlist.analysis import lint_countermeasure
 from repro.telemetry import metrics, run_manifest, trace
@@ -286,6 +286,9 @@ def certify_design(
                 retries=config.retries,
                 backoff=config.backoff,
                 wall_budget=config.wall_budget,
+                prewarm=functools.partial(
+                    prewarm_backend, design, config.backend
+                ),
             ),
             identity=identity,
             keys=CERTIFY_KEYS,

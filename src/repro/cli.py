@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro matrix --runs 16000 --resume --checkpoint-dir ckpt/matrix
     python -m repro sweep  --runs 10000
     python -m repro certify --scheme three-in-one --budget 50000 --out cert.json
+    python -m repro serve  --store /var/tmp/repro-store --port 8642
+    python -m repro submit --url http://127.0.0.1:8642 --budget 50000
     python -m repro sca    --traces 500
     python -m repro encrypt --key 0x0123456789abcdef0123 --pt 0xcafebabe
     python -m repro fig4 --runs 4000 --backend reference   # per-gate oracle kernel
@@ -167,25 +169,9 @@ def _cmd_sca(args) -> int:
 
 
 def _build_scheme(scheme: str, *, variant: str, rounds: int | None):
-    from repro.ciphers.netlist_present import PresentSpec
-    from repro.countermeasures import (
-        build_acisp20,
-        build_naive_duplication,
-        build_three_in_one,
-        build_triplication,
-    )
-    from repro.countermeasures.three_in_one import LambdaVariant
+    from repro.service.protocol import build_design
 
-    spec = PresentSpec(rounds=rounds)
-    if scheme == "three-in-one":
-        return build_three_in_one(spec, variant=LambdaVariant(variant))
-    if scheme == "naive":
-        return build_naive_duplication(spec)
-    if scheme == "acisp20":
-        return build_acisp20(spec)
-    if scheme == "triplication":
-        return build_triplication(spec)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    return build_design(scheme, variant=variant, rounds=rounds)
 
 
 def _cmd_certify(args) -> int:
@@ -231,6 +217,82 @@ def _cmd_verify(args) -> int:
             "see coverage.uncovered_per_stratum",
             file=sys.stderr,
         )
+    return 0 if certificate.passed else 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the always-on certification daemon (see repro.service.daemon)."""
+    from repro.service import CertificationService, ServiceConfig
+
+    config = ServiceConfig(
+        store_dir=args.store,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        max_queue=args.max_queue,
+        jobs=args.jobs or 1,
+        default_deadline_s=args.deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        drain_timeout_s=args.drain_timeout,
+    )
+    service = CertificationService(config)
+    print(
+        f"serving on http://{config.host}:{config.port or '<ephemeral>'} "
+        f"(store: {args.store}); SIGTERM drains gracefully",
+        file=sys.stderr,
+    )
+    return service.serve()
+
+
+def _cmd_submit(args) -> int:
+    """Submit one certification campaign to a running daemon."""
+    from repro.certify import Certificate
+    from repro.service.client import ServiceClient, ServiceError
+
+    request = {
+        "scheme": args.scheme,
+        "variant": args.variant,
+        "rounds": args.rounds,
+        "budget": args.budget,
+        "runs_per_location": args.runs_per_location,
+        "models": args.models.split(",") if args.models else None,
+        "cycles": (
+            [int(c) for c in args.cycles.split(",")] if args.cycles else None
+        ),
+        "seed": args.seed,
+        "key": args.key,
+        "backend": args.backend,
+        "deadline_s": args.deadline,
+    }
+    try:
+        client = ServiceClient(args.url)
+        status, doc = client.submit(request)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    if status == 400:
+        print(f"request rejected: {doc.get('error')}", file=sys.stderr)
+        return 2
+    if status != 200:
+        retry = doc.get("retry_after_s")
+        print(
+            f"request not served ({doc.get('status')})"
+            + (f"; retry after {retry}s" if retry else ""),
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
+    certificate = Certificate.from_dict(doc["certificate"])
+    print(certificate.summary())
+    cached = doc.get("cached")
+    print(
+        f"key: {doc['key']}"
+        + (f"  (cache hit: {cached})" if cached else f"  (backend: {doc.get('backend')})"),
+        file=sys.stderr,
+    )
+    if args.out:
+        certificate.save(args.out)
+        print(f"certificate written to {args.out}")
     return 0 if certificate.passed else 1
 
 
@@ -405,6 +467,76 @@ def build_parser() -> argparse.ArgumentParser:
     pverify.add_argument("certificate", help="certificate JSON written by certify")
     pverify.set_defaults(fn=_cmd_verify)
 
+    pserve = sub.add_parser(
+        "serve",
+        help="run the always-on certification daemon (HTTP/JSON, local)",
+        parents=[common],
+    )
+    pserve.add_argument(
+        "--store", default="repro-store",
+        help="content-addressed result store root (certificates, index, "
+        "campaign checkpoints); survives restarts and kill -9",
+    )
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = ephemeral)",
+    )
+    pserve.add_argument(
+        "--concurrency", type=int, default=2,
+        help="campaigns run concurrently",
+    )
+    pserve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="admission bound (queued + running campaigns) before "
+        "load-shedding with Retry-After",
+    )
+    pserve.add_argument(
+        "--jobs", type=int, default=None,
+        help="executor worker processes per campaign",
+    )
+    pserve.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request wall-clock deadline in seconds; exceeding "
+        "it yields a valid degraded certificate, never a dropped request",
+    )
+    pserve.add_argument("--breaker-threshold", type=int, default=3)
+    pserve.add_argument("--breaker-cooldown", type=float, default=60.0)
+    pserve.add_argument("--drain-timeout", type=float, default=600.0)
+    pserve.set_defaults(fn=_cmd_serve)
+
+    psubmit = sub.add_parser(
+        "submit",
+        help="submit a certification campaign to a running 'repro serve'",
+        parents=[common],
+    )
+    psubmit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL",
+    )
+    psubmit.add_argument(
+        "--scheme", default="three-in-one",
+        choices=["three-in-one", "naive", "acisp20", "triplication"],
+    )
+    psubmit.add_argument(
+        "--variant", default="prime", choices=["prime", "per_round", "per_sbox"],
+    )
+    psubmit.add_argument("--rounds", type=int, default=None)
+    psubmit.add_argument("--budget", type=int, default=None)
+    psubmit.add_argument("--runs-per-location", type=int, default=64)
+    psubmit.add_argument("--models", default=None)
+    psubmit.add_argument("--cycles", default=None)
+    psubmit.add_argument("--seed", type=int, default=4)
+    psubmit.add_argument("--key", default="0x0123456789abcdef0123")
+    psubmit.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds (degraded certificate on "
+        "expiry)",
+    )
+    psubmit.add_argument("--out", default=None, help="save the certificate here")
+    _add_backend_arg(psubmit)
+    psubmit.set_defaults(fn=_cmd_submit)
+
     penc = sub.add_parser(
         "encrypt", help="one protected encryption vs the spec", parents=[common]
     )
@@ -431,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
 #: not match the stored checkpoint, or a certificate failing its schema
 #: version or integrity checksum
 EXIT_CHECKPOINT_MISMATCH = 3
+
+#: exit status when the certification daemon cannot serve the request now
+#: (unreachable, load-shed with Retry-After, draining, or quarantined)
+EXIT_UNAVAILABLE = 4
 
 
 class _LiveStderrHandler(logging.StreamHandler):
@@ -479,6 +615,18 @@ def main(argv: list[str] | None = None) -> int:
 
     args = build_parser().parse_args(argv)
     _configure_logging(args)
+    # Eager environment validation: a typo'd REPRO_CHAOS schedule or
+    # REPRO_SIM_BACKEND backend name fails here, loudly, before any work —
+    # not deep inside a campaign (or silently never firing at all).
+    try:
+        from repro.netlist.simulator import resolve_backend
+        from repro.resilience.chaos import ChaosSpec
+
+        ChaosSpec.from_env()
+        resolve_backend(None)
+    except ValueError as exc:
+        print(f"invalid environment: {exc}", file=sys.stderr)
+        return 2
     trace_path = getattr(args, "trace", None)
     if trace_path:
         trace.configure(

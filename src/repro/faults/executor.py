@@ -64,7 +64,7 @@ import traceback as traceback_module
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -90,6 +90,7 @@ __all__ = [
     "ShardTimeout",
     "ShardedRun",
     "campaign_identity",
+    "prewarm_backend",
     "run_campaign_sharded",
     "run_sharded",
 ]
@@ -139,6 +140,12 @@ class ExecutorConfig:
     #: global wall-clock budget for the whole sweep; once spent, no new
     #: shards are scheduled and the run degrades gracefully
     wall_budget: float | None = None
+    #: zero-argument picklable callable run once per worker (in the pool
+    #: initializer, and once before the serial loop) to pay one-time setup
+    #: cost — e.g. compiled-backend codegen — *outside* any shard's timeout
+    #: window; re-runs automatically in every fresh worker after a pool
+    #: restart.  None = no pre-warm.
+    prewarm: object = None
 
     @property
     def effective_hang_deadline(self) -> float | None:
@@ -258,10 +265,48 @@ def _worker_init(payload: bytes) -> None:
     # (fork inherits them, but spawn-based pools start from clean state)
     enable_kernel_timings(ctx[3].get("kernel_metrics", False))
     chaos.configure(ctx[4])
+    _run_prewarm(ctx[5])
+
+
+def _run_prewarm(prewarm) -> None:
+    """Pay one-time setup (e.g. codegen) outside any shard's timeout window."""
+    if prewarm is None:
+        return
+    started = time.perf_counter()
+    try:
+        prewarm()
+    except Exception as exc:
+        # A failed pre-warm never kills the worker: the shard simply pays
+        # the setup cost (or surfaces the real error) inside its own guard.
+        log.warning("executor pre-warm failed (%s: %s)", type(exc).__name__, exc)
+        trace.event("executor.prewarm_failed", error=f"{type(exc).__name__}: {exc}")
+    else:
+        metrics.observe("executor.prewarm_s", time.perf_counter() - started)
+
+
+def prewarm_backend(design: ProtectedDesign, backend: str | None) -> None:
+    """Compile ``design``'s kernel schedule/program for ``backend`` now.
+
+    Module-level (hence picklable via :func:`functools.partial`) so it can
+    ride in the pool-worker init payload: the compiled backend's AOT
+    codegen — the expensive case — happens once per worker process before
+    the first shard starts its timeout clock, instead of inside it.
+    """
+    from repro.netlist.simulator import resolve_backend
+
+    resolved = resolve_backend(backend)
+    if resolved == "compiled":
+        from repro.netlist.compiled import compile_program
+
+        compile_program(design.circuit)
+    elif resolved == "levelized":
+        from repro.netlist.levelized import compile_schedule
+
+        compile_schedule(design.circuit)
 
 
 def _worker_shard(index: int, lo: int, hi: int, attempt: int):
-    task, timeout, hook, tele, _ = _WORKER_CTX["ctx"]
+    task, timeout, hook, tele, _, _ = _WORKER_CTX["ctx"]
     if not tele.get("capture"):
         with _deadline(timeout):
             chaos.at("worker", index=index, attempt=attempt, in_worker=True)
@@ -464,6 +509,8 @@ class _Supervisor:
     # -- serial path
 
     def run_serial(self, pending: list[int]) -> None:
+        if pending:
+            _run_prewarm(self.config.prewarm)
         for index in pending:
             if self.stopped or self._budget_spent():
                 return
@@ -518,7 +565,10 @@ class _Supervisor:
         }
         try:
             payload = pickle.dumps(
-                (self.task, cfg.timeout, self.shard_hook, tele, chaos.spec)
+                (
+                    self.task, cfg.timeout, self.shard_hook, tele, chaos.spec,
+                    cfg.prewarm,
+                )
             )
         except Exception as exc:
             log.warning(
@@ -832,6 +882,10 @@ def run_campaign_sharded(
     from repro.countermeasures.base import RecoveryPolicy
 
     config = config or ExecutorConfig()
+    if config.prewarm is None:
+        config = replace(
+            config, prewarm=functools.partial(prewarm_backend, design, backend)
+        )
     if flag_observable is None:
         flag_observable = design.scheme != "triplication"
     infective = design.policy is RecoveryPolicy.INFECTIVE

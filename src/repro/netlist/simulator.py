@@ -70,12 +70,22 @@ _NO_FAULTS: Mapping[int, "Transform"] = {}
 
 
 def resolve_backend(backend: str | None) -> str:
-    """Normalise a backend selection (None → env override → default)."""
+    """Normalise a backend selection (None → env override → default).
+
+    An unknown name raises immediately — including one coming from the
+    ``REPRO_SIM_BACKEND`` environment variable, which the error names so a
+    typo'd override fails fast instead of silently falling back (or blowing
+    up later inside a pool worker).
+    """
+    from_env = False
     if backend is None:
-        backend = os.environ.get("REPRO_SIM_BACKEND") or DEFAULT_BACKEND
+        env = os.environ.get("REPRO_SIM_BACKEND", "").strip()
+        backend, from_env = (env, True) if env else (DEFAULT_BACKEND, False)
     if backend not in BACKENDS:
+        source = " (from REPRO_SIM_BACKEND)" if from_env else ""
         raise ValueError(
-            f"unknown simulator backend {backend!r}; choose from {BACKENDS}"
+            f"unknown simulator backend {backend!r}{source}; "
+            f"choose from {BACKENDS}"
         )
     return backend
 

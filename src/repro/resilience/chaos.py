@@ -19,6 +19,12 @@ site                   where it fires
 ``checkpoint.manifest``after the manifest ledger is flushed
 ``supervisor.result``  in the supervisor, as a finished shard's result is
                        folded in
+``service.request``    in the certification daemon, as an admitted request
+                       begins executing
+``service.store``      after the daemon's result store persists an artefact
+                       (certificate or index — corrupts the file on disk)
+``service.drain``      in the daemon's SIGTERM drain sequence, before the
+                       store index is flushed
 =====================  =====================================================
 
 and each fault has a *kind*, mirroring the paper's taxonomy aimed at
@@ -70,6 +76,9 @@ SITES = (
     "checkpoint.shard",
     "checkpoint.manifest",
     "supervisor.result",
+    "service.request",
+    "service.store",
+    "service.drain",
 )
 
 #: fault kinds, grouped by how they are delivered
@@ -131,14 +140,21 @@ class ChaosSpec:
             if "=" in segment and ":" not in segment:
                 name, _, value = segment.partition("=")
                 name = name.strip()
-                if name == "seed":
-                    seed = int(value)
-                elif name == "hang":
-                    hang_s = float(value)
-                elif name == "delay":
-                    delay_s = float(value)
-                else:
-                    raise ValueError(f"unknown chaos option {name!r}")
+                try:
+                    if name == "seed":
+                        seed = int(value)
+                    elif name == "hang":
+                        hang_s = float(value)
+                    elif name == "delay":
+                        delay_s = float(value)
+                    else:
+                        raise ValueError(f"unknown chaos option {name!r}")
+                except ValueError as exc:
+                    if "unknown chaos option" in str(exc):
+                        raise
+                    raise ValueError(
+                        f"bad chaos option {segment!r}: {name} wants a number"
+                    ) from exc
                 continue
             parts = segment.split(":")
             if len(parts) < 2:
@@ -147,8 +163,14 @@ class ChaosSpec:
                     f"[:max_attempt]])"
                 )
             site, kind = parts[0], parts[1]
-            rate = float(parts[2]) if len(parts) > 2 else 1.0
-            max_attempt = int(parts[3]) if len(parts) > 3 else 1
+            try:
+                rate = float(parts[2]) if len(parts) > 2 else 1.0
+                max_attempt = int(parts[3]) if len(parts) > 3 else 1
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad chaos fault {segment!r}: rate must be a float and "
+                    f"max_attempt an integer"
+                ) from exc
             faults.append(ChaosFault(site, kind, rate, max_attempt))
         return cls(
             seed=seed, faults=tuple(faults), hang_s=hang_s, delay_s=delay_s
@@ -156,8 +178,19 @@ class ChaosSpec:
 
     @classmethod
     def from_env(cls) -> "ChaosSpec | None":
+        """Parse ``REPRO_CHAOS``; a malformed value is an eager, named error.
+
+        A schedule that never fires because of a typo would silently turn a
+        chaos run into a clean run — so an unknown site/kind or unparsable
+        number raises immediately, naming the environment variable.
+        """
         text = os.environ.get(CHAOS_ENV, "").strip()
-        return cls.parse(text) if text else None
+        if not text:
+            return None
+        try:
+            return cls.parse(text)
+        except ValueError as exc:
+            raise ValueError(f"invalid {CHAOS_ENV}: {exc}") from exc
 
 
 def _fires(spec: ChaosSpec, fault: ChaosFault, index: int, attempt: int) -> bool:

@@ -1,0 +1,118 @@
+"""Circuit breaker over (cipher, backend) execution lanes.
+
+The daemon runs campaigns on one of three bit-exact simulation backends.
+When a particular backend/cipher combination keeps failing — a codegen
+bug tripped by one netlist shape, a pathological timeout interaction —
+the breaker *opens* that lane after ``threshold`` consecutive failures
+and the daemon routes the work over a healthy backend instead (bit-exact
+backends make the reroute result-transparent; only wall-clock changes).
+
+State machine per lane (classic closed → open → half-open):
+
+- **closed** — failures are counted; a success resets the count.
+- **open** — entered at ``threshold`` consecutive failures; ``allow()``
+  refuses the lane for ``cooldown_s`` seconds.
+- **half-open** — after the cooldown, one probe request is let through;
+  its success closes the lane, its failure re-opens it (with a fresh
+  cooldown) immediately.
+
+Failures carry the PR 5 :class:`~repro.resilience.errors.ErrorKind`
+taxonomy so the trace shows *why* a lane died, and the clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.telemetry import metrics, trace
+
+__all__ = ["CircuitBreaker", "LaneState"]
+
+
+@dataclass
+class LaneState:
+    failures: int = 0
+    opened_at: float | None = None
+    half_open: bool = False
+    #: ErrorKind tallies of everything this lane ever failed with
+    error_kinds: dict = field(default_factory=dict)
+
+
+class CircuitBreaker:
+    """Per-(cipher, backend) failure isolation; see module docstring."""
+
+    def __init__(
+        self, *, threshold: int = 3, cooldown_s: float = 60.0, clock=time.monotonic
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.lanes: dict[tuple[str, str], LaneState] = {}
+
+    def _lane(self, cipher: str, backend: str) -> LaneState:
+        return self.lanes.setdefault((cipher, backend), LaneState())
+
+    def allow(self, cipher: str, backend: str) -> bool:
+        """May a request run on this lane right now?
+
+        An open lane whose cooldown has elapsed admits exactly one probe
+        (half-open); everything else queued behind the probe keeps being
+        routed around until the probe's success closes the lane.
+        """
+        lane = self._lane(cipher, backend)
+        if lane.opened_at is None:
+            return True
+        if lane.half_open:
+            return False  # a probe is already out
+        if self.clock() - lane.opened_at >= self.cooldown_s:
+            lane.half_open = True
+            trace.event(
+                "service.breaker_half_open", cipher=cipher, backend=backend
+            )
+            return True
+        return False
+
+    def record_success(self, cipher: str, backend: str) -> None:
+        lane = self._lane(cipher, backend)
+        if lane.opened_at is not None:
+            trace.event("service.breaker_closed", cipher=cipher, backend=backend)
+            metrics.inc("service.breaker.closed")
+        lane.failures = 0
+        lane.opened_at = None
+        lane.half_open = False
+
+    def record_failure(self, cipher: str, backend: str, error_kind: str) -> None:
+        lane = self._lane(cipher, backend)
+        lane.failures += 1
+        lane.error_kinds[error_kind] = lane.error_kinds.get(error_kind, 0) + 1
+        reopened_probe = lane.half_open
+        lane.half_open = False
+        if reopened_probe or lane.failures >= self.threshold:
+            if lane.opened_at is None or reopened_probe:
+                trace.event(
+                    "service.breaker_opened",
+                    cipher=cipher,
+                    backend=backend,
+                    failures=lane.failures,
+                    error_kind=error_kind,
+                )
+                metrics.inc("service.breaker.opened")
+            lane.opened_at = self.clock()
+
+    def is_open(self, cipher: str, backend: str) -> bool:
+        lane = self._lane(cipher, backend)
+        return lane.opened_at is not None
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for /healthz."""
+        return {
+            f"{cipher}/{backend}": {
+                "failures": lane.failures,
+                "open": lane.opened_at is not None,
+                "half_open": lane.half_open,
+                "error_kinds": dict(lane.error_kinds),
+            }
+            for (cipher, backend), lane in sorted(self.lanes.items())
+        }

@@ -1,0 +1,535 @@
+"""The always-on certification daemon (``repro serve``).
+
+A stdlib-``asyncio`` service that multiplexes concurrent certification
+campaigns over the existing sharded executor.  One process, three moving
+parts:
+
+- an **HTTP/JSON listener** (hand-rolled over ``asyncio.start_server`` —
+  no framework dependency) exposing ``POST /certify``, ``GET
+  /certificate/<key>``, ``GET /healthz`` and ``GET /metrics``;
+- a pool of **campaign workers** (asyncio tasks) that pull admitted
+  requests off a queue and run :func:`repro.certify.certify_design` in a
+  thread, checkpointed under the store's ``work/<key>`` directory so any
+  interruption — including ``kill -9`` of the whole daemon — resumes
+  deterministically;
+- the :class:`~repro.service.store.ResultStore` front-ending it all with
+  content-addressed dedupe.
+
+Robustness contract (the headline of this subsystem):
+
+**Dedupe** — a request whose :func:`~repro.service.protocol.request_key`
+matches a stored certificate is served from disk (``cached: "store"``);
+one matching a campaign already running awaits that campaign's future
+(``cached: "inflight"``) — N identical concurrent requests cost exactly
+one simulation, asserted by the ``dedupe_hits`` counters.
+
+**Admission control** — at most ``max_queue`` campaigns may be admitted
+(queued + running).  Beyond that, requests are *shed* with a structured
+``429`` carrying ``Retry-After`` — predictable latency for admitted work
+beats unbounded queueing.  Dedupe hits bypass admission entirely (they
+cost no simulation).
+
+**Deadlines degrade, never drop** — a per-request ``deadline_s`` maps
+onto the executor's ``wall_budget``: when it expires the campaign stops
+scheduling shards and emits a *valid degraded* certificate with explicit
+uncovered-space accounting, and its checkpoints stay resumable.
+
+**Circuit breaker** — repeated campaign failures (typed by PR 5's
+``ErrorKind``) open the (cipher, backend) lane and new work is routed
+over a healthy bit-exact backend; with every lane open the request is
+refused with a structured ``503``.
+
+**Graceful drain** — SIGTERM/SIGINT stops admission (``503 draining``),
+lets in-flight campaigns finish (or checkpoint, bounded by
+``drain_timeout_s``), persists the store index and exits 0.
+
+Chaos sites ``service.request`` / ``service.store`` / ``service.drain``
+instrument the request path, the store writes and the drain sequence, so
+the seeded replay methodology of ``tests/test_chaos.py`` extends to the
+daemon end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.resilience.chaos import ChaosSpec, chaos
+from repro.resilience.errors import classify_error
+from repro.service.breaker import CircuitBreaker
+from repro.service.protocol import CertifyRequest, build_design, request_key
+from repro.service.store import ResultStore
+from repro.telemetry import metrics, trace
+
+__all__ = ["CertificationService", "ServiceConfig", "ServiceUnavailable"]
+
+log = logging.getLogger(__name__)
+
+
+class ServiceUnavailable(RuntimeError):
+    """Every candidate (cipher, backend) lane is quarantined."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the certification daemon."""
+
+    #: store root; certificates, index and campaign checkpoints live here
+    store_dir: object = "repro-store"
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (recorded on ``service.port`` once bound)
+    port: int = 0
+    #: concurrent campaigns (asyncio workers, each running one campaign
+    #: in a thread over the sharded executor)
+    concurrency: int = 2
+    #: admission bound: campaigns admitted (queued + running) before
+    #: load-shedding kicks in; dedupe hits do not count against it
+    max_queue: int = 8
+    #: executor worker processes *per campaign*
+    jobs: int = 1
+    #: deadline applied to requests that do not carry their own
+    default_deadline_s: float | None = None
+    #: consecutive (cipher, backend) failures before the lane opens
+    breaker_threshold: int = 3
+    #: seconds an open lane stays quarantined before a half-open probe
+    breaker_cooldown_s: float = 60.0
+    #: how long a drain waits for in-flight campaigns before giving up
+    #: (their checkpoints make the abandonment lossless)
+    drain_timeout_s: float = 600.0
+    #: Retry-After hint (seconds) on shed responses, scaled by queue depth
+    retry_after_s: float = 2.0
+
+
+class CertificationService:
+    """See module docstring.  ``certify`` is injectable for tests."""
+
+    def __init__(
+        self, config: ServiceConfig, *, certify=None
+    ) -> None:
+        from repro.certify import certify_design
+        from repro.netlist.simulator import resolve_backend
+
+        # Eager environment validation: a typo'd REPRO_CHAOS schedule or
+        # REPRO_SIM_BACKEND override must refuse to start the daemon, not
+        # silently never fire / blow up mid-campaign in a worker.
+        ChaosSpec.from_env()
+        resolve_backend(None)
+        chaos.configure_from_env()
+
+        self.config = config
+        self.store = ResultStore(config.store_dir)
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self._certify = certify or certify_design
+        self._designs: dict = {}
+        self._design_lock = threading.Lock()
+        self._store_lock = threading.Lock()
+        self.counters = {
+            "requests": 0,
+            "bad_requests": 0,
+            "dedupe_hits_store": 0,
+            "dedupe_hits_inflight": 0,
+            "shed": 0,
+            "campaigns_started": 0,
+            "campaigns_completed": 0,
+            "campaigns_degraded": 0,
+            "campaigns_failed": 0,
+            "rerouted": 0,
+            "drains": 0,
+        }
+        self.port: int | None = None
+        self.ready = threading.Event()
+        self._draining = False
+        self._req_index = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._stop: asyncio.Event | None = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+        metrics.inc(f"service.{name}", n)
+
+    def _key_and_design(self, norm: CertifyRequest):
+        sig = (norm.scheme, norm.variant, norm.rounds)
+        with self._design_lock:
+            design = self._designs.get(sig)
+            if design is None:
+                design = build_design(
+                    norm.scheme, variant=norm.variant, rounds=norm.rounds
+                )
+                self._designs[sig] = design
+        return request_key(norm, design), design
+
+    def _choose_backend(self, norm: CertifyRequest, cipher: str) -> str:
+        """Requested lane if healthy, else route around the open breaker."""
+        from repro.netlist.simulator import BACKENDS
+
+        requested = norm.backend
+        for backend in [requested] + [b for b in BACKENDS if b != requested]:
+            if self.breaker.allow(cipher, backend):
+                if backend != requested:
+                    self._count("rerouted")
+                    trace.event(
+                        "service.rerouted",
+                        cipher=cipher,
+                        requested=requested,
+                        used=backend,
+                    )
+                return backend
+        raise ServiceUnavailable(
+            f"all simulation backends quarantined for cipher {cipher!r}"
+        )
+
+    # ------------------------------------------------------------- campaign
+
+    def _run_campaign(self, norm: CertifyRequest, design, backend: str, key: str):
+        from repro.certify import CertifyConfig
+
+        deadline = (
+            norm.deadline_s
+            if norm.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        config = CertifyConfig(
+            budget=norm.budget,
+            runs_per_location=norm.runs_per_location,
+            models=norm.models,
+            cycles=norm.cycles,
+            seed=norm.seed,
+            backend=backend,
+            jobs=self.config.jobs,
+            checkpoint_dir=str(self.store.work_dir(key)),
+            resume=True,
+            wall_budget=deadline,
+        )
+        certificate = self._certify(design, key=int(norm.key, 0), config=config)
+        if not certificate.degraded:
+            with self._store_lock:
+                self.store.put(key, certificate)
+        return certificate
+
+    async def _worker(self) -> None:
+        while True:
+            key, norm, design, future = await self._queue.get()
+            try:
+                if not future.done():
+                    await self._execute(key, norm, design, future)
+            finally:
+                self._inflight.pop(key, None)
+                self._queue.task_done()
+
+    async def _execute(self, key, norm, design, future) -> None:
+        cipher = design.spec.name
+        try:
+            backend = self._choose_backend(norm, cipher)
+        except ServiceUnavailable as exc:
+            future.set_exception(exc)
+            return
+        self._count("campaigns_started")
+        with trace.span(
+            "service.campaign", key=key[:16], scheme=norm.scheme, backend=backend
+        ):
+            try:
+                certificate = await asyncio.to_thread(
+                    self._run_campaign, norm, design, backend, key
+                )
+            except Exception as exc:
+                kind = str(classify_error(exc))
+                self.breaker.record_failure(cipher, backend, kind)
+                self._count("campaigns_failed")
+                log.error(
+                    "campaign %s failed on %s/%s [%s]: %s",
+                    key[:16], cipher, backend, kind, exc,
+                )
+                if not future.done():
+                    future.set_exception(exc)
+                return
+        coverage = certificate.coverage
+        infra_dead = (
+            coverage.get("locations_covered") == 0
+            and coverage.get("failed_shards")
+            and coverage.get("locations_planned", 0) > 0
+        )
+        if infra_dead:
+            # Every shard was quarantined: the lane, not the design, is
+            # sick — feed the breaker the first shard's typed error.
+            kind = coverage["failed_shards"][0].get("error_kind", "transient")
+            self.breaker.record_failure(cipher, backend, kind)
+            self._count("campaigns_failed")
+        else:
+            self.breaker.record_success(cipher, backend)
+        self._count("campaigns_completed")
+        if certificate.degraded:
+            self._count("campaigns_degraded")
+        if not future.done():
+            future.set_result((certificate, backend))
+
+    # -------------------------------------------------------------- request
+
+    async def handle_request(self, doc: dict) -> tuple[int, dict]:
+        """Process one ``POST /certify`` body; returns (http_status, doc)."""
+        self._req_index += 1
+        self._count("requests")
+        chaos.at("service.request", index=self._req_index)
+        try:
+            request = CertifyRequest.from_dict(doc).normalized()
+        except (ValueError, TypeError) as exc:
+            self._count("bad_requests")
+            return 400, {"status": "bad_request", "error": str(exc)}
+        if self._draining:
+            return 503, {
+                "status": "draining",
+                "retry_after_s": self.config.retry_after_s,
+            }
+        key, design = await asyncio.to_thread(self._key_and_design, request)
+
+        with self._store_lock:
+            stored = self.store.get(key)
+        if stored is not None:
+            self._count("dedupe_hits_store")
+            return 200, self._done(key, stored, cached="store")
+
+        future = self._inflight.get(key)
+        if future is not None:
+            self._count("dedupe_hits_inflight")
+            return await self._await_result(key, future, cached="inflight")
+
+        admitted = self._queue.qsize() + sum(
+            1 for f in self._inflight.values() if not f.done()
+        )
+        if admitted >= self.config.max_queue:
+            self._count("shed")
+            retry = self.config.retry_after_s * max(1, admitted)
+            trace.event("service.shed", queue_depth=admitted)
+            return 429, {
+                "status": "shed",
+                "queue_depth": admitted,
+                "retry_after_s": retry,
+            }
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        await self._queue.put((key, request, design, future))
+        return await self._await_result(key, future, cached=None)
+
+    async def _await_result(self, key, future, *, cached) -> tuple[int, dict]:
+        try:
+            certificate, backend = await asyncio.shield(future)
+        except ServiceUnavailable as exc:
+            return 503, {
+                "status": "quarantined",
+                "error": str(exc),
+                "retry_after_s": self.config.breaker_cooldown_s,
+            }
+        except Exception as exc:
+            return 500, {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": str(classify_error(exc)),
+            }
+        return 200, self._done(key, certificate, cached=cached, backend=backend)
+
+    def _done(self, key, certificate, *, cached, backend=None) -> dict:
+        return {
+            "status": "done",
+            "key": key,
+            "cached": cached,
+            "backend": backend,
+            "passed": certificate.passed,
+            "degraded": certificate.degraded,
+            "certificate": certificate.to_dict(),
+        }
+
+    # ----------------------------------------------------------------- http
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            status, doc, extra = await self._handle_http(reader)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, asyncio.TimeoutError):
+            writer.close()
+            return
+        except Exception as exc:  # a handler bug must not kill the daemon
+            log.exception("request handler crashed")
+            status, doc, extra = 500, {
+                "status": "error", "error": f"{type(exc).__name__}: {exc}",
+            }, {}
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 429: "Too Many Requests",
+                  500: "Internal Server Error", 503: "Service Unavailable"}
+        headers = [
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if "retry_after_s" in doc:
+            headers.append(f"Retry-After: {max(1, round(doc['retry_after_s']))}")
+        for name, value in (extra or {}).items():
+            headers.append(f"{name}: {value}")
+        try:
+            writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_http(self, reader) -> tuple[int, dict, dict]:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=30.0
+        )
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _ = lines[0].split(" ", 2)
+        except ValueError:
+            return 400, {"status": "bad_request", "error": "malformed request line"}, {}
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=60.0
+            )
+
+        if method == "GET" and path == "/healthz":
+            return 200, self.health(), {}
+        if method == "GET" and path == "/metrics":
+            return 200, {"metrics": metrics.snapshot()}, {}
+        if method == "GET" and path.startswith("/certificate/"):
+            key = path[len("/certificate/"):]
+            with self._store_lock:
+                certificate = self.store.get(key)
+            if certificate is None:
+                return 404, {"status": "not_found", "key": key}, {}
+            return 200, self._done(key, certificate, cached="store"), {}
+        if method == "POST" and path == "/certify":
+            try:
+                doc = json.loads(body.decode() or "{}")
+            except ValueError as exc:
+                return 400, {"status": "bad_request", "error": f"bad JSON: {exc}"}, {}
+            status, response = await self.handle_request(doc)
+            return status, response, {}
+        return 404, {"status": "not_found", "path": path}, {}
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "in_flight": sum(
+                1 for f in self._inflight.values() if not f.done()
+            ),
+            "counters": dict(self.counters),
+            "breaker": self.breaker.snapshot(),
+            "store": {
+                "entries": len(self.store.entries),
+                "pending_work": self.store.pending_work(),
+            },
+        }
+
+    # ---------------------------------------------------------------- drain
+
+    def begin_drain(self) -> None:
+        """Stop admitting new campaigns (idempotent, thread-safe to call)."""
+        if not self._draining:
+            self._draining = True
+            self._count("drains")
+            trace.event("service.drain_begin")
+            log.info("drain: admission stopped; finishing in-flight campaigns")
+
+    async def _drain_and_stop(self) -> None:
+        self.begin_drain()
+        try:
+            chaos.at("service.drain")
+        except Exception as exc:
+            # Chaos (or any hook failure) in the drain path must never
+            # leave the daemon undead: log it and keep draining.
+            log.warning("drain hook raised (%s); draining anyway", exc)
+            trace.event("service.drain_hook_failed", error=str(exc))
+        pending = [f for f in self._inflight.values() if not f.done()]
+        if pending:
+            done, not_done = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s
+            )
+            if not_done:
+                # Abandoning is lossless: every campaign checkpoints under
+                # work/<key> and the next identical request resumes it.
+                log.warning(
+                    "drain: %d campaign(s) still running after %.1fs; "
+                    "their checkpoints remain resumable",
+                    len(not_done), self.config.drain_timeout_s,
+                )
+                trace.event("service.drain_timeout", abandoned=len(not_done))
+        with self._store_lock:
+            self.store.flush()
+        trace.event("service.drain_complete")
+        log.info("drain complete; store index persisted")
+        self._stop.set()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe graceful-drain trigger (what SIGTERM is wired to)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self._drain_and_stop())
+            )
+
+    # ------------------------------------------------------------------ run
+
+    async def run(self) -> None:
+        """Serve until a drain completes (SIGTERM or request_shutdown)."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(max(1, self.config.concurrency))
+        ]
+        server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self._drain_and_stop()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # not the main thread, or platform without signals
+        log.info(
+            "certification service listening on http://%s:%d (store: %s)",
+            self.config.host, self.port, self.store.root,
+        )
+        trace.event(
+            "service.listening", host=self.config.host, port=self.port
+        )
+        self.ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for worker in workers:
+                worker.cancel()
+            await asyncio.gather(*workers, return_exceptions=True)
+            self.ready.clear()
+
+    def serve(self) -> int:
+        """Blocking entry point; returns 0 after a graceful drain."""
+        asyncio.run(self.run())
+        return 0

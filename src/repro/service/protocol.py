@@ -1,0 +1,194 @@
+"""Request schema and content addressing for the certification service.
+
+A :class:`CertifyRequest` is the wire form of one certification campaign:
+which protected design to build, which slice of its fault space to sweep,
+under which seed/key/backend.  Two requests that would provably produce
+the same certificate must collapse to the same :func:`request_key` — the
+content address under which the daemon dedupes in-flight work and stores
+finished certificates.
+
+The key is a SHA-256 over a canonical document combining
+
+- the **netlist hash** (:func:`circuit_digest` over the built design's
+  gate list — the same design identity the PR 4 run manifest pins via
+  scheme/variant/rounds, but structural, so a builder change invalidates
+  stale cache entries),
+- the **fault-space selection** (models × cycles, budget, runs/location —
+  the inputs of ``enumerate_fault_space`` + the budget sampler),
+- the campaign **seed and key**, and
+- the normalised **backend** (kept in the key per the store contract even
+  though backends are bit-exact: a cache entry records which kernel earned
+  it, and re-keying on it makes backend-comparison sweeps explicit).
+
+Normalisation happens *before* hashing: ``rounds=None`` resolves to the
+cipher's full-round count, ``models=None`` to the default model tuple and
+``backend=None`` through :func:`~repro.netlist.simulator.resolve_backend`,
+so spelling a default out loud never causes a spurious cache miss.  The
+per-request ``deadline_s`` is deliberately **not** part of the identity:
+a deadline changes how much of the sweep finishes, not what is being
+certified — the store only ever caches *complete* certificates, and a
+truncated run leaves its checkpoints behind for the next identical
+request to resume and finish.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "CertifyRequest",
+    "SCHEMES",
+    "build_design",
+    "circuit_digest",
+    "request_key",
+]
+
+#: protected-design builders the service knows how to instantiate
+SCHEMES = ("three-in-one", "naive", "acisp20", "triplication")
+
+
+def build_design(scheme: str, *, variant: str = "prime", rounds: int | None = None):
+    """Instantiate a protected PRESENT design by name (the CLI's vocabulary)."""
+    from repro.ciphers.netlist_present import PresentSpec
+    from repro.countermeasures import (
+        build_acisp20,
+        build_naive_duplication,
+        build_three_in_one,
+        build_triplication,
+    )
+    from repro.countermeasures.three_in_one import LambdaVariant
+
+    spec = PresentSpec(rounds=rounds)
+    if scheme == "three-in-one":
+        return build_three_in_one(spec, variant=LambdaVariant(variant))
+    if scheme == "naive":
+        return build_naive_duplication(spec)
+    if scheme == "acisp20":
+        return build_acisp20(spec)
+    if scheme == "triplication":
+        return build_triplication(spec)
+    raise ValueError(f"unknown scheme {scheme!r} (known: {', '.join(SCHEMES)})")
+
+
+def circuit_digest(circuit) -> str:
+    """SHA-256 identity of a netlist: every gate's type, pins and init.
+
+    Net ids are allocation-ordered and gates are kept in insertion order,
+    so the digest is deterministic for a given builder version and changes
+    whenever the synthesised structure does.  Tags are excluded — they are
+    labels for humans and fault-space enumeration, not circuit semantics
+    (and the enumeration itself is pinned separately via the space digest
+    inside the certify checkpoint identity).
+    """
+    h = hashlib.sha256()
+    h.update(f"{circuit.name}:{circuit.num_nets}\n".encode())
+    for gate in circuit.gates:
+        h.update(
+            f"{gate.gtype.value}:{gate.out}:"
+            f"{','.join(map(str, gate.ins))}:{gate.init}\n".encode()
+        )
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CertifyRequest:
+    """One certification campaign, as submitted to the daemon."""
+
+    scheme: str = "three-in-one"
+    variant: str = "prime"
+    rounds: int | None = None
+    budget: int | None = None
+    runs_per_location: int = 64
+    models: tuple[str, ...] | None = None
+    cycles: tuple[int, ...] | None = None
+    seed: int = 4
+    key: str = "0x0123456789abcdef0123"
+    backend: str | None = None
+    #: wall-clock budget for this request; exceeded → valid *degraded*
+    #: certificate via the executor's ``wall_budget`` path.  Not identity.
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r} (known: {', '.join(SCHEMES)})"
+            )
+        int(self.key, 0)  # must be a parseable integer literal
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CertifyRequest":
+        """Build a request from parsed JSON, rejecting unknown fields."""
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        known = set(cls.__dataclass_fields__)
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(doc)
+        if kwargs.get("models") is not None:
+            kwargs["models"] = tuple(kwargs["models"])
+        if kwargs.get("cycles") is not None:
+            kwargs["cycles"] = tuple(int(c) for c in kwargs["cycles"])
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "variant": self.variant,
+            "rounds": self.rounds,
+            "budget": self.budget,
+            "runs_per_location": self.runs_per_location,
+            "models": list(self.models) if self.models is not None else None,
+            "cycles": list(self.cycles) if self.cycles is not None else None,
+            "seed": self.seed,
+            "key": self.key,
+            "backend": self.backend,
+            "deadline_s": self.deadline_s,
+        }
+
+    def normalized(self) -> "CertifyRequest":
+        """Resolve every defaultable field to its canonical value."""
+        from repro.certify import DEFAULT_MODELS
+        from repro.netlist.simulator import resolve_backend
+
+        return replace(
+            self,
+            models=tuple(self.models) if self.models is not None else DEFAULT_MODELS,
+            key=str(int(self.key, 0)),
+            backend=resolve_backend(self.backend),
+        )
+
+
+def request_key(request: CertifyRequest, design=None) -> str:
+    """The content address of a request: netlist hash + sweep identity.
+
+    ``design`` may be passed to reuse an already-built design (the daemon
+    caches them); otherwise it is built here.
+    """
+    norm = request.normalized()
+    if design is None:
+        design = build_design(
+            norm.scheme, variant=norm.variant, rounds=norm.rounds
+        )
+    doc = {
+        "kind": "certify-request",
+        "netlist": circuit_digest(design.circuit),
+        "scheme": norm.scheme,
+        "variant": norm.variant,
+        "cipher": design.spec.name,
+        "rounds": design.spec.rounds,
+        "key": norm.key,
+        "seed": norm.seed,
+        "runs_per_location": norm.runs_per_location,
+        "budget": norm.budget,
+        "models": list(norm.models),
+        "cycles": list(norm.cycles) if norm.cycles is not None else None,
+        "backend": norm.backend,
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()

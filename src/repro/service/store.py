@@ -1,0 +1,196 @@
+"""Crash-recoverable content-addressed certificate store.
+
+Layout (everything under one ``root`` directory)::
+
+    root/
+      index.json        the ledger: request key -> entry metadata, with a
+                        whole-document checksum (same discipline as the
+                        checkpoint manifest)
+      certs/<key>.json  one finished certificate per content address,
+                        written by Certificate.save (atomic + integrity)
+      work/<key>/       the executor checkpoint directory of an unfinished
+                        campaign for that key; removed once the complete
+                        certificate is stored
+
+Every durable artefact is written with the PR 5 primitives (tmp + fsync +
+``os.replace``) and carries its own digest, so a ``kill -9`` at any point
+leaves only (a) verifiable finished artefacts, (b) resumable checkpoint
+shards, or (c) garbage that validation rejects.  Recovery is therefore
+*read-side*: a torn or bit-rotted index is rebuilt by scanning ``certs/``,
+and a certificate that fails its integrity check on ``get`` is discarded
+(counted, never served) and recomputed by the caller.
+
+Only **complete** certificates are stored.  A degraded certificate
+(deadline/wall-budget truncation, quarantined shards) is returned to its
+requester but not cached — its checkpoints stay in ``work/<key>/`` so the
+next identical request resumes where it left off and, given enough
+budget, completes and *then* enters the cache.  This is what makes a
+daemon restart after ``kill -9`` serve the same request to a bit-identical
+certificate: either the finished artefact is already in ``certs/``, or the
+campaign re-runs over its surviving shards deterministically.
+
+Chaos: writes are followed by ``chaos.corrupt_file("service.store", ...)``
+hooks, so the seeded replay suite can tear/bit-rot exactly these artefacts
+and assert the recovery paths above.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import shutil
+from pathlib import Path
+
+from repro.certify.certificate import Certificate, CertificateError
+from repro.resilience.chaos import chaos
+from repro.resilience.persist import atomic_write_json, sha256_bytes
+from repro.telemetry import metrics, trace
+
+__all__ = ["ResultStore", "StoreCorrupt"]
+
+log = logging.getLogger(__name__)
+
+STORE_VERSION = 1
+
+
+class StoreCorrupt(RuntimeError):
+    """The index ledger is unreadable (recovered from, never fatal)."""
+
+
+class ResultStore:
+    """Content-addressed certificate store with a checksummed index."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.certs_dir = self.root / "certs"
+        self.work_root = self.root / "work"
+        self.index_path = self.root / "index.json"
+        self.entries: dict[str, dict] = {}
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.certs_dir.mkdir(exist_ok=True)
+        self.work_root.mkdir(exist_ok=True)
+        self._load_index()
+
+    # ---------------------------------------------------------------- index
+
+    def _load_index(self) -> None:
+        if not self.index_path.exists():
+            self.entries = {}
+            return
+        try:
+            doc = json.loads(self.index_path.read_text())
+            if doc.get("version") != STORE_VERSION:
+                raise StoreCorrupt(
+                    f"unsupported store version {doc.get('version')!r}"
+                )
+            body = {"version": doc["version"], "entries": doc["entries"]}
+            payload = json.dumps(
+                body, sort_keys=True, separators=(",", ":")
+            ).encode()
+            if doc.get("checksum") != sha256_bytes(payload):
+                raise StoreCorrupt("index fails its checksum")
+            self.entries = dict(doc["entries"])
+        except (OSError, ValueError, KeyError, StoreCorrupt) as exc:
+            # A torn/bit-rotted ledger holds no trustworthy state; the
+            # certificates themselves are self-validating, so rebuild the
+            # ledger from them instead of refusing to start.
+            log.warning("store index unusable (%s); rebuilding from certs/", exc)
+            trace.event("service.store_index_recovered", error=str(exc))
+            metrics.inc("service.store.index_recovered")
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self.entries = {}
+        for path in sorted(self.certs_dir.glob("*.json")):
+            key = path.stem
+            try:
+                certificate = Certificate.load(path)
+            except CertificateError as exc:
+                log.warning("dropping unverifiable certificate %s (%s)", path, exc)
+                metrics.inc("service.store.certs_dropped")
+                path.unlink(missing_ok=True)
+                continue
+            self.entries[key] = self._entry(key, certificate)
+        self.flush()
+
+    @staticmethod
+    def _entry(key: str, certificate: Certificate) -> dict:
+        return {
+            "scheme": certificate.scheme,
+            "cipher": certificate.cipher,
+            "rounds": certificate.rounds,
+            "backend": (
+                (certificate.timing.get("manifest") or {}).get("backend")
+            ),
+            "passed": certificate.passed,
+        }
+
+    def flush(self) -> None:
+        """Atomically persist the index with a whole-document checksum."""
+        body = {"version": STORE_VERSION, "entries": self.entries}
+        payload = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode()
+        atomic_write_json(
+            self.index_path, {**body, "checksum": sha256_bytes(payload)}
+        )
+        chaos.corrupt_file("service.store", self.index_path)
+
+    # ---------------------------------------------------------- certificates
+
+    def cert_path(self, key: str) -> Path:
+        return self.certs_dir / f"{key}.json"
+
+    def work_dir(self, key: str) -> Path:
+        """The checkpoint directory for an in-progress campaign on ``key``."""
+        return self.work_root / key[:32]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def get(self, key: str) -> Certificate | None:
+        """Fetch and *verify* a stored certificate; a bad one is evicted."""
+        if key not in self.entries:
+            return None
+        path = self.cert_path(key)
+        try:
+            certificate = Certificate.load(path)
+        except CertificateError as exc:
+            # Bit-rot/torn write since it was stored: never serve it —
+            # evict and let the caller recompute deterministically.
+            log.warning("stored certificate %s fails validation (%s)", path, exc)
+            trace.event("service.store_cert_corrupt", key=key, error=str(exc))
+            metrics.inc("service.store.certs_corrupt")
+            path.unlink(missing_ok=True)
+            self.entries.pop(key, None)
+            self.flush()
+            return None
+        metrics.inc("service.store.hits")
+        return certificate
+
+    def put(self, key: str, certificate: Certificate) -> None:
+        """Store a *complete* certificate and retire its work directory."""
+        if certificate.degraded:
+            raise ValueError(
+                "refusing to cache a degraded certificate; its checkpoints "
+                "remain resumable under work/"
+            )
+        path = self.cert_path(key)
+        certificate.save(path)
+        chaos.corrupt_file("service.store", path)
+        self.entries[key] = self._entry(key, certificate)
+        self.flush()
+        metrics.inc("service.store.puts")
+        work = self.work_dir(key)
+        if work.exists():
+            shutil.rmtree(work, ignore_errors=True)
+
+    def keys(self) -> list[str]:
+        return sorted(self.entries)
+
+    def pending_work(self) -> list[str]:
+        """Key prefixes with surviving checkpoints (crash debris to resume)."""
+        return sorted(
+            p.name for p in self.work_root.iterdir() if p.is_dir()
+        ) if self.work_root.exists() else []

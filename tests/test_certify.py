@@ -371,3 +371,68 @@ class TestCertificateIntegrity:
         tampered.write_text(path.read_text().replace('"rounds": 2', '"rounds": 3'))
         assert main(["verify", str(tampered)]) == EXIT_CHECKPOINT_MISMATCH
         assert "certificate invalid" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def degraded_cert(ours2, tmp_path_factory):
+    """A wall-budget-truncated certificate, saved to disk (the same code
+    path the service takes for a per-request deadline)."""
+    cert = certify_design(
+        ours2,
+        key=KEY,
+        config=CertifyConfig(
+            budget=512, runs_per_location=16, seed=3, wall_budget=0.0
+        ),
+    )
+    assert cert.degraded
+    path = tmp_path_factory.mktemp("degraded") / "degraded.json"
+    cert.save(path)
+    return cert, path
+
+
+class TestDegradedVerify:
+    """`repro verify` on *degraded* certificates (ISSUE 8 satellite): the
+    integrity block still validates, the DEGRADED state is surfaced, and
+    the uncovered-location accounting survives the disk round-trip."""
+
+    def test_cli_verify_accepts_degraded_and_flags_it(
+        self, degraded_cert, capsys
+    ):
+        from repro.cli import main
+
+        cert, path = degraded_cert
+        assert main(["verify", str(path)]) == (0 if cert.passed else 1)
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.out  # the summary says so...
+        assert "DEGRADED" in captured.err  # ...and verify warns explicitly
+        assert "uncovered_per_stratum" in captured.err
+
+    def test_uncovered_accounting_roundtrips(self, degraded_cert):
+        cert, path = degraded_cert
+        reloaded = Certificate.load(path)
+        assert reloaded.degraded
+        assert reloaded.coverage == cert.coverage
+        cov = reloaded.coverage
+        assert cov["locations_uncovered"] == cov["locations_planned"] > 0
+        assert sum(cov["uncovered_per_stratum"].values()) == (
+            cov["locations_uncovered"]
+        )
+        # the dict round-trip (what the service ships over HTTP) too
+        wired = Certificate.from_dict(cert.to_dict())
+        assert wired.degraded and wired.coverage == cert.coverage
+
+    def test_degraded_accounting_is_integrity_protected(
+        self, degraded_cert, tmp_path, capsys
+    ):
+        """Quietly shrinking `locations_uncovered` — claiming more coverage
+        than was simulated — must trip the checksum, exit 3."""
+        from repro.cli import EXIT_CHECKPOINT_MISMATCH, main
+
+        cert, path = degraded_cert
+        text = path.read_text()
+        needle = f'"locations_uncovered": {cert.coverage["locations_uncovered"]}'
+        assert needle in text
+        forged = tmp_path / "forged.json"
+        forged.write_text(text.replace(needle, '"locations_uncovered": 0', 1))
+        assert main(["verify", str(forged)]) == EXIT_CHECKPOINT_MISMATCH
+        assert "certificate invalid" in capsys.readouterr().err

@@ -82,10 +82,10 @@ def _assert_identical(a, b):
     assert (a.outcomes == b.outcomes).all()
 
 
-def _run(design, fault, *, config):
+def _run(design, fault, *, config, backend=None):
     return run_campaign_sharded(
         design, [fault], n_runs=N_RUNS, key=TEST_KEY80, seed=SEED,
-        config=config,
+        config=config, backend=backend,
     )
 
 
@@ -121,11 +121,40 @@ class TestChaosSpec:
             "worker:explode",  # unknown kind
             "mars:raise",  # unknown site
             "worker:raise:1.5",  # rate outside [0, 1]
+            "seed=banana",  # option wants a number
+            "hang=soon",  # option wants a number
+            "worker:raise:often",  # rate must be a float
+            "worker:raise:0.5:always",  # max_attempt must be an integer
         ],
     )
     def test_rejects_malformed_specs(self, bad):
         with pytest.raises(ValueError):
             ChaosSpec.parse(bad)
+
+    def test_parse_errors_name_the_offending_segment(self):
+        with pytest.raises(ValueError, match=r"'seed=banana'.*number"):
+            ChaosSpec.parse("seed=banana")
+        with pytest.raises(ValueError, match=r"'worker:raise:often'"):
+            ChaosSpec.parse("worker:raise:often")
+
+    def test_from_env_errors_name_the_variable(self, monkeypatch):
+        """REPRO_CHAOS typos must fail *eagerly* with the variable named,
+        not deep inside a campaign with a bare parse error."""
+        monkeypatch.setenv(CHAOS_ENV, "worker:explode")
+        with pytest.raises(ValueError, match="REPRO_CHAOS"):
+            ChaosSpec.from_env()
+
+    def test_backend_env_errors_name_the_variable(self, monkeypatch):
+        from repro.netlist.simulator import resolve_backend
+
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "turbo")
+        with pytest.raises(ValueError, match="REPRO_SIM_BACKEND"):
+            resolve_backend(None)
+        # an explicit bad argument is still blamed on the caller, not env
+        monkeypatch.delenv("REPRO_SIM_BACKEND")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("turbo")
+        assert "REPRO_SIM_BACKEND" not in str(excinfo.value)
 
     def test_fires_is_a_pure_deterministic_function(self):
         spec = ChaosSpec(seed=11)
@@ -382,3 +411,83 @@ class TestStructuredDegradation:
         assert result.extra["budget_exhausted"]
         assert result.extra["failed_shards"] == []  # pending, not failed
         assert result.n_runs == 0
+
+
+# ------------------------------------------------- compiled backend parity
+# The recovery contract is backend-independent: the AOT-codegen backend
+# must survive the same abuse as the levelized default, bit-identically
+# (the backends are bit-exact, so the ground truth is one `baseline`).
+
+
+def _compiled_schedules():
+    mixes = [
+        (("worker", "raise", 1.0, 1),),
+        (("worker", "crash", 1.0, 1),),
+        (("checkpoint.shard", "truncate", 1.0, 1),),
+        (("checkpoint.manifest", "bitrot", 1.0, 1),),
+        (
+            ("worker", "raise", 0.7, 2),
+            ("checkpoint.shard", "bitrot", 0.6, 1),
+            ("supervisor.result", "duplicate", 0.5, 1),
+        ),
+    ]
+    return [
+        ChaosSpec(
+            seed=seed,
+            faults=tuple(ChaosFault(*f) for f in mix),
+            hang_s=2.0,
+            delay_s=0.005,
+        )
+        for seed in (7, 101)
+        for mix in mixes
+    ]
+
+
+class TestCompiledBackendChaos:
+    @pytest.mark.parametrize("spec", _compiled_schedules(), ids=_schedule_id)
+    def test_recovered_compiled_run_is_bit_identical(
+        self, design3, fault3, baseline, tmp_path, spec
+    ):
+        ck = tmp_path / "ck"
+        chaos.configure(spec)
+        try:
+            result = _run(
+                design3, fault3, backend="compiled",
+                config=ExecutorConfig(
+                    shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+                    retries=3, backoff=0.0, timeout=0.8,
+                ),
+            )
+        finally:
+            chaos.disable()
+        assert not result.partial
+        _assert_identical(result, baseline)
+
+        resumed = _run(
+            design3, fault3, backend="compiled",
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=ck,
+                retries=1, backoff=0.0, resume=True,
+            ),
+        )
+        assert not resumed.partial
+        _assert_identical(resumed, baseline)
+
+    def test_pool_survives_kill9_with_compiled_backend(
+        self, design3, fault3, baseline, tmp_path
+    ):
+        """Worker kill-9 under the compiled backend: every replacement
+        process re-runs the pre-warm codegen in its initializer (outside
+        any shard timeout window) and the campaign still completes."""
+        chaos.configure(
+            ChaosSpec(seed=5, faults=(ChaosFault("worker", "crash", 1.0, 1),))
+        )
+        result = _run(
+            design3, fault3, backend="compiled",
+            config=ExecutorConfig(
+                shard_runs=RNG_BLOCK, checkpoint_dir=tmp_path / "ck",
+                jobs=2, retries=3, backoff=0.0,
+            ),
+        )
+        assert not result.partial
+        _assert_identical(result, baseline)

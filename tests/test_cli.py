@@ -20,6 +20,36 @@ class TestParser:
         args = build_parser().parse_args(["fig4", "--runs", "123", "--seed", "9"])
         assert args.runs == 123 and args.seed == 9
 
+    def test_serve_and_submit_registered(self):
+        text = build_parser().format_help()
+        assert "serve" in text and "submit" in text
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--concurrency", "4"]
+        )
+        assert args.port == 9000 and args.concurrency == 4
+        args = build_parser().parse_args(
+            ["submit", "--scheme", "naive", "--deadline", "1.5"]
+        )
+        assert args.scheme == "naive" and args.deadline == 1.5
+
+
+class TestEagerEnvValidation:
+    """Typos in REPRO_CHAOS / REPRO_SIM_BACKEND fail at argument-parse
+    time with the variable named, for every subcommand (exit 2) — not
+    hours into a campaign."""
+
+    def test_bad_chaos_env_rejected_before_dispatch(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHAOS", "worker:explode")
+        assert main(["table2"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid environment" in err and "REPRO_CHAOS" in err
+
+    def test_bad_backend_env_rejected_before_dispatch(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "turbo")
+        assert main(["table2"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid environment" in err and "REPRO_SIM_BACKEND" in err
+
 
 class TestFastCommands:
     def test_table2(self, capsys):

@@ -477,3 +477,57 @@ class TestGenericRunSharded:
                 identity={"kind": "k"},
                 keys=("y",),
             )
+
+
+class TestPrewarm:
+    """Backend codegen is compiled in the worker initializer (outside any
+    shard timeout window), not lazily inside the first shard."""
+
+    def test_prewarm_backend_populates_codegen_caches(self, naive_design):
+        from repro.faults.executor import prewarm_backend
+        from repro.netlist.compiled import _PROGRAM_CACHE, compile_program
+        from repro.netlist.levelized import _SCHEDULE_CACHE, compile_schedule
+
+        circuit = naive_design.circuit
+        _PROGRAM_CACHE.pop(circuit, None)
+        _SCHEDULE_CACHE.pop(circuit, None)
+
+        prewarm_backend(naive_design, "compiled")
+        assert circuit in _PROGRAM_CACHE
+        cached = compile_program(circuit)
+        assert compile_program(circuit) is cached  # hit, no recompile
+
+        prewarm_backend(naive_design, "levelized")
+        assert circuit in _SCHEDULE_CACHE
+        assert compile_schedule(circuit) is compile_schedule(circuit)
+
+        prewarm_backend(naive_design, "reference")  # nothing to pre-warm: a no-op
+
+    def test_prewarm_failure_is_nonfatal(self, caplog):
+        from repro.faults.executor import _run_prewarm
+
+        def broken():
+            raise RuntimeError("codegen exploded")
+
+        with caplog.at_level(logging.WARNING, logger="repro.faults.executor"):
+            _run_prewarm(broken)  # must not raise
+        assert "pre-warm" in caplog.text
+
+    def test_sharded_campaign_defaults_prewarm(self, naive_design, present_spec, monkeypatch):
+        """run_campaign_sharded wires a backend pre-warm into the executor
+        config by default, and the serial path actually runs it."""
+        import repro.faults.executor as executor_mod
+
+        calls = []
+        real = executor_mod.prewarm_backend
+        monkeypatch.setattr(
+            executor_mod, "prewarm_backend",
+            lambda d, b: calls.append(b) or real(d, b),
+        )
+        run_campaign_sharded(
+            naive_design, [_fault(naive_design, present_spec)],
+            n_runs=RNG_BLOCK // 2, key=TEST_KEY80, seed=SEED,
+            backend="levelized",
+            config=ExecutorConfig(shard_runs=RNG_BLOCK),
+        )
+        assert calls == ["levelized"]

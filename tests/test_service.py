@@ -1,0 +1,679 @@
+"""The certification daemon: dedupe, backpressure, breaker, drain, chaos.
+
+Robustness is the headline contract of :mod:`repro.service` (ISSUE 8):
+these tests hold the daemon to the same standard ``tests/test_chaos.py``
+holds the executor — identical concurrent requests cost one simulation,
+crash debris resumes to bit-identical certificates, overload sheds with a
+structured retry, deadlines degrade instead of dropping, a sick backend
+lane is quarantined and routed around, and SIGTERM-style drains always
+terminate with a persisted store index.
+
+Real campaigns use a tiny reduced-round PRESENT sweep (~0.3 s); the
+scheduling-logic tests (admission, dedupe, breaker, drain) inject a stub
+``certify`` so they are fast and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.certify import Certificate, CertifyConfig, certify_design
+from repro.resilience import CHAOS_ENV, ChaosFault, ChaosSpec, chaos
+from repro.resilience.chaos import _fires
+from repro.service import (
+    CertificationService,
+    CertifyRequest,
+    CircuitBreaker,
+    ResultStore,
+    ServiceClient,
+    ServiceConfig,
+    build_design,
+    request_key,
+)
+
+KEYHEX = "0x0123456789abcdef0123"
+
+#: the tiny request every end-to-end test reuses (~0.3 s per campaign)
+TINY = {
+    "scheme": "three-in-one",
+    "rounds": 2,
+    "budget": 64,
+    "runs_per_location": 8,
+    "models": ["coupled"],
+    "seed": 4,
+    "key": KEYHEX,
+}
+
+
+@pytest.fixture(autouse=True)
+def _pristine_chaos(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    chaos.disable()
+    yield
+    chaos.disable()
+
+
+@pytest.fixture(scope="module")
+def tiny_design():
+    return build_design("three-in-one", variant="prime", rounds=2)
+
+
+@pytest.fixture(scope="module")
+def direct_cert(tiny_design):
+    """Ground truth: what certify_design says about TINY, daemon-free."""
+    return certify_design(
+        tiny_design,
+        key=int(KEYHEX, 0),
+        config=CertifyConfig(
+            budget=64, runs_per_location=8, models=("coupled",), seed=4
+        ),
+    )
+
+
+@contextlib.contextmanager
+def running(store_dir, *, certify=None, **cfg):
+    """A live daemon on an ephemeral port, drained on exit."""
+    cfg.setdefault("concurrency", 2)
+    service = CertificationService(
+        ServiceConfig(store_dir=store_dir, port=0, **cfg), certify=certify
+    )
+    thread = threading.Thread(target=service.serve, daemon=True)
+    thread.start()
+    assert service.ready.wait(10), "daemon failed to start"
+    try:
+        yield service, ServiceClient(f"http://127.0.0.1:{service.port}")
+    finally:
+        service.request_shutdown()
+        thread.join(30)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+def _wait(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------- content address
+
+
+class TestRequestKey:
+    def test_defaults_normalise_to_the_same_key(self, tiny_design):
+        from repro.certify import DEFAULT_MODELS
+
+        spelled_out = CertifyRequest.from_dict(
+            {
+                **TINY,
+                "models": None,
+                "backend": "levelized",
+                "key": str(int(KEYHEX, 0)),
+            }
+        )
+        defaulted = CertifyRequest.from_dict({**TINY, "models": None})
+        assert request_key(spelled_out, tiny_design) == request_key(
+            defaulted, tiny_design
+        )
+        assert defaulted.normalized().models == DEFAULT_MODELS
+
+    def test_every_identity_field_rekeys(self, tiny_design):
+        base = CertifyRequest.from_dict(TINY)
+        k0 = request_key(base, tiny_design)
+        for change in (
+            {"seed": 5},
+            {"budget": 128},
+            {"runs_per_location": 16},
+            {"models": ["single"]},
+            {"backend": "compiled"},
+            {"key": "0x1"},
+        ):
+            other = CertifyRequest.from_dict({**TINY, **change})
+            assert request_key(other, tiny_design) != k0, change
+
+    def test_deadline_is_not_identity(self, tiny_design):
+        base = CertifyRequest.from_dict(TINY)
+        dead = CertifyRequest.from_dict({**TINY, "deadline_s": 0.5})
+        assert request_key(base, tiny_design) == request_key(dead, tiny_design)
+
+    def test_netlist_hash_rekeys_on_structure(self):
+        r2 = CertifyRequest.from_dict(TINY)
+        r3 = CertifyRequest.from_dict({**TINY, "rounds": 3})
+        assert request_key(r2) != request_key(r3)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            CertifyRequest.from_dict({**TINY, "bananas": 1})
+        with pytest.raises(ValueError, match="unknown scheme"):
+            CertifyRequest.from_dict({**TINY, "scheme": "rot13"})
+        with pytest.raises(ValueError):
+            CertifyRequest.from_dict({**TINY, "key": "not-a-number"})
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            CertifyRequest.from_dict({**TINY, "backend": "turbo"}).normalized()
+
+
+# -------------------------------------------------------------------- store
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_bit_identical(self, tmp_path, direct_cert):
+        store = ResultStore(tmp_path)
+        store.put("k" * 64, direct_cert)
+        loaded = store.get("k" * 64)
+        assert loaded.render(include_timing=False) == direct_cert.render(
+            include_timing=False
+        )
+
+    def test_refuses_to_cache_degraded(self, tmp_path, tiny_design):
+        degraded = certify_design(
+            tiny_design,
+            key=int(KEYHEX, 0),
+            config=CertifyConfig(
+                budget=64, runs_per_location=8, models=("coupled",),
+                seed=4, wall_budget=0.0,
+            ),
+        )
+        assert degraded.degraded
+        with pytest.raises(ValueError, match="degraded"):
+            ResultStore(tmp_path).put("k" * 64, degraded)
+
+    def test_torn_index_rebuilds_from_certs(self, tmp_path, direct_cert):
+        store = ResultStore(tmp_path)
+        store.put("a" * 64, direct_cert)
+        # kill -9 mid-index-write: the ledger is torn, the cert is intact
+        (tmp_path / "index.json").write_text('{"version": 1, "entr')
+        recovered = ResultStore(tmp_path)
+        assert "a" * 64 in recovered
+        assert recovered.get("a" * 64) is not None
+
+    def test_corrupt_certificate_evicted_not_served(self, tmp_path, direct_cert):
+        store = ResultStore(tmp_path)
+        store.put("a" * 64, direct_cert)
+        path = store.cert_path("a" * 64)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+        assert store.get("a" * 64) is None  # never serve unverifiable bits
+        assert "a" * 64 not in store.entries
+        assert not path.exists()
+
+
+# ------------------------------------------------------------------ breaker
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_half_opens_after_cooldown(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            threshold=3, cooldown_s=10.0, clock=lambda: now[0]
+        )
+        for _ in range(2):
+            breaker.record_failure("present", "compiled", "transient")
+            assert breaker.allow("present", "compiled")
+        breaker.record_failure("present", "compiled", "crash")
+        assert breaker.is_open("present", "compiled")
+        assert not breaker.allow("present", "compiled")
+        assert breaker.allow("present", "levelized")  # lanes are independent
+
+        now[0] = 10.0  # cooldown elapsed: exactly one half-open probe
+        assert breaker.allow("present", "compiled")
+        assert not breaker.allow("present", "compiled")  # probe already out
+
+        breaker.record_failure("present", "compiled", "transient")  # probe dies
+        assert not breaker.allow("present", "compiled")  # re-opened
+        now[0] = 20.0
+        assert breaker.allow("present", "compiled")
+        breaker.record_success("present", "compiled")  # probe heals the lane
+        assert breaker.allow("present", "compiled")
+        assert not breaker.is_open("present", "compiled")
+        kinds = breaker.snapshot()["present/compiled"]["error_kinds"]
+        assert kinds == {"transient": 3, "crash": 1}
+
+
+# --------------------------------------------------- end to end (real sweeps)
+
+
+class TestDaemonEndToEnd:
+    def test_submit_matches_direct_certify_and_verifies(
+        self, tmp_path, direct_cert, capsys
+    ):
+        from repro.cli import main
+
+        with running(tmp_path / "store") as (service, client):
+            status, doc = client.submit(TINY)
+        assert status == 200 and doc["status"] == "done"
+        assert doc["cached"] is None and doc["backend"] == "levelized"
+        served = Certificate.from_dict(doc["certificate"])
+        assert served.render(include_timing=False) == direct_cert.render(
+            include_timing=False
+        )
+        # the served document round-trips through `repro verify`
+        path = tmp_path / "served.json"
+        served.save(path)
+        assert main(["verify", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_store_dedupe_across_restarts(self, tmp_path):
+        store_dir = tmp_path / "store"
+        with running(store_dir) as (service, client):
+            status, first = client.submit(TINY)
+            assert status == 200
+            status, second = client.submit(TINY)
+            assert status == 200 and second["cached"] == "store"
+            assert service.counters["campaigns_started"] == 1
+            assert service.counters["dedupe_hits_store"] == 1
+            fetched = client.certificate(first["key"])
+            assert fetched is not None and fetched["cached"] == "store"
+            assert client.certificate("0" * 64) is None
+        # a brand-new daemon on the same store serves from disk immediately
+        with running(store_dir) as (service, client):
+            status, again = client.submit(TINY)
+            assert status == 200 and again["cached"] == "store"
+            assert service.counters["campaigns_started"] == 0
+            c1 = {k: v for k, v in first["certificate"].items() if k != "timing"}
+            c2 = {k: v for k, v in again["certificate"].items() if k != "timing"}
+            assert c1 == c2
+
+    def test_deadline_degrades_then_resumes_to_full(
+        self, tmp_path, direct_cert, capsys
+    ):
+        """A deadline-truncated request yields a *valid degraded*
+        certificate (verify exit 0 + explicit uncovered accounting), leaves
+        resumable checkpoints, and is NOT cached; the next identical
+        request finishes the sweep and enters the cache."""
+        from repro.cli import main
+
+        with running(tmp_path / "store") as (service, client):
+            status, doc = client.submit({**TINY, "deadline_s": 0.0})
+            assert status == 200 and doc["status"] == "done"
+            assert doc["degraded"] and doc["cached"] is None
+            degraded = Certificate.from_dict(doc["certificate"])
+            cov = degraded.coverage
+            assert cov["budget_exhausted"]
+            assert cov["locations_uncovered"] == cov["locations_planned"] > 0
+            assert sum(cov["uncovered_per_stratum"].values()) == (
+                cov["locations_uncovered"]
+            )
+            path = tmp_path / "degraded.json"
+            degraded.save(path)
+            assert main(["verify", str(path)]) == 0  # valid, just partial
+            assert "DEGRADED" in capsys.readouterr().err
+            # accounting survives the disk round-trip
+            reloaded = Certificate.load(path)
+            assert reloaded.coverage == cov
+            assert service.counters["campaigns_degraded"] == 1
+            assert service.store.pending_work()  # checkpoints left behind
+
+            # same request, no deadline: resumes the debris, completes,
+            # and only now enters the store
+            status, full = client.submit(TINY)
+            assert status == 200 and not full["degraded"]
+            cert = Certificate.from_dict(full["certificate"])
+            assert cert.render(include_timing=False) == direct_cert.render(
+                include_timing=False
+            )
+            assert not service.store.pending_work()
+            status, cached = client.submit(TINY)
+            assert cached["cached"] == "store"
+
+
+class TestDaemonKill9:
+    def _free_port(self):
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def _spawn(self, store, port):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(store), "--port", str(port),
+                "--concurrency", "1",
+            ],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=120.0)
+
+        def _up():
+            try:
+                client.health()
+                return True
+            except Exception:
+                return False
+
+        assert _wait(_up, timeout=30), "daemon subprocess never came up"
+        return proc, client
+
+    def test_kill9_mid_campaign_restart_serves_bit_identical(self, tmp_path):
+        """The acceptance chaos test: `kill -9` the daemon mid-campaign;
+        a restart on the same store must serve the same request to a
+        bit-identical certificate (resumed from the recovered store)."""
+        request = {**TINY, "budget": 1024, "runs_per_location": 16}
+        store = tmp_path / "store"
+        port = self._free_port()
+        proc, client = self._spawn(store, port)
+        try:
+            submitter = threading.Thread(
+                target=self._swallow, args=(client, request)
+            )
+            submitter.start()
+            assert _wait(
+                lambda: client.health()["counters"]["campaigns_started"] >= 1,
+                timeout=30,
+            )
+            time.sleep(0.4)  # let it get some work done
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(10)
+        submitter.join(10)
+
+        # restart over the debris: torn index / pending work is recovered
+        proc, client = self._spawn(store, port)
+        try:
+            status, doc = client.submit(request)
+            assert status == 200 and doc["status"] == "done"
+            assert not doc["degraded"]
+            served = Certificate.from_dict(doc["certificate"])
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(60) == 0  # graceful drain exits 0
+
+        reference = certify_design(
+            build_design("three-in-one", variant="prime", rounds=2),
+            key=int(KEYHEX, 0),
+            config=CertifyConfig(
+                budget=1024, runs_per_location=16, models=("coupled",), seed=4
+            ),
+        )
+        assert served.render(include_timing=False) == reference.render(
+            include_timing=False
+        )
+
+    @staticmethod
+    def _swallow(client, request):
+        with contextlib.suppress(Exception):
+            client.submit(request)
+
+
+# ----------------------------------------- scheduling logic (stubbed certify)
+
+
+def _blocking_certify(release, certificate):
+    """A certify stand-in that parks until the test says go."""
+
+    def _certify(design, *, key, config):
+        assert release.wait(30), "test never released the campaign"
+        return certificate
+
+    return _certify
+
+
+class TestInflightDedupe:
+    def test_identical_concurrent_requests_run_one_campaign(
+        self, tmp_path, direct_cert
+    ):
+        release = threading.Event()
+        with running(
+            tmp_path / "store",
+            certify=_blocking_certify(release, direct_cert),
+            concurrency=2,
+        ) as (service, client):
+            results = {}
+
+            def submit(tag):
+                results[tag] = client.submit(TINY)
+
+            first = threading.Thread(target=submit, args=("first",))
+            first.start()
+            assert _wait(lambda: service.counters["campaigns_started"] == 1)
+            second = threading.Thread(target=submit, args=("second",))
+            second.start()
+            assert _wait(
+                lambda: service.counters["dedupe_hits_inflight"] == 1
+            )
+            release.set()
+            first.join(15)
+            second.join(15)
+
+            # exactly ONE executor campaign for the identical pair
+            assert service.counters["campaigns_started"] == 1
+            assert service.counters["dedupe_hits_inflight"] == 1
+            statuses = {tag: r[0] for tag, r in results.items()}
+            assert statuses == {"first": 200, "second": 200}
+            assert results["second"][1]["cached"] == "inflight"
+            c1 = results["first"][1]["certificate"]
+            c2 = results["second"][1]["certificate"]
+            assert {k: v for k, v in c1.items() if k != "timing"} == {
+                k: v for k, v in c2.items() if k != "timing"
+            }
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_retry_after_while_admitted_completes(
+        self, tmp_path, direct_cert
+    ):
+        release = threading.Event()
+        with running(
+            tmp_path / "store",
+            certify=_blocking_certify(release, direct_cert),
+            concurrency=1,
+            max_queue=1,
+        ) as (service, client):
+            admitted = {}
+            thread = threading.Thread(
+                target=lambda: admitted.update(
+                    zip(("status", "doc"), client.submit(TINY))
+                )
+            )
+            thread.start()
+            assert _wait(lambda: service.health()["in_flight"] == 1)
+
+            # a *distinct* request beyond the bound is shed, structurally
+            status, doc, headers = client._request(
+                "POST", "/certify", body={**TINY, "seed": 999}
+            )
+            assert status == 429
+            assert doc["status"] == "shed"
+            assert doc["retry_after_s"] > 0
+            assert "Retry-After" in headers
+            assert service.counters["shed"] == 1
+
+            # ...but an identical request is a dedupe hit, not a shed
+            # (it costs no simulation, so admission does not apply) — and
+            # the admitted campaign still completes fine under overload.
+            release.set()
+            thread.join(15)
+            assert admitted["status"] == 200
+            assert admitted["doc"]["status"] == "done"
+
+
+class TestBreakerRouting:
+    def test_sick_backend_lane_opens_and_routes_around(
+        self, tmp_path, direct_cert
+    ):
+        def moody_certify(design, *, key, config):
+            if config.backend == "compiled":
+                raise RuntimeError("codegen exploded")
+            return direct_cert
+
+        with running(
+            tmp_path / "store",
+            certify=moody_certify,
+            breaker_threshold=2,
+            breaker_cooldown_s=3600.0,
+        ) as (service, client):
+            request = {**TINY, "backend": "compiled"}
+            for _ in range(2):
+                status, doc = client.submit(request)
+                assert status == 500
+                assert doc["status"] == "error"
+                assert doc["error_kind"] == "transient"
+            snap = service.breaker.snapshot()["present80/compiled"]
+            assert snap["open"] and snap["failures"] == 2
+
+            # third identical request: lane open → rerouted to a healthy
+            # bit-exact backend, and the campaign succeeds
+            status, doc = client.submit(request)
+            assert status == 200 and doc["backend"] == "levelized"
+            assert service.counters["rerouted"] == 1
+
+    def test_all_lanes_open_refuses_with_structured_503(self, tmp_path):
+        def doomed_certify(design, *, key, config):
+            raise RuntimeError("everything is broken")
+
+        with running(
+            tmp_path / "store",
+            certify=doomed_certify,
+            breaker_threshold=1,
+            breaker_cooldown_s=3600.0,
+        ) as (service, client):
+            # each failure opens the lane it ran on; the reroute chain
+            # burns through all three backends
+            for expected in (500, 500, 500):
+                status, doc = client.submit(TINY)
+                assert status == expected
+            status, doc, headers = client._request(
+                "POST", "/certify", body=TINY
+            )
+            assert status == 503
+            assert doc["status"] == "quarantined"
+            assert "Retry-After" in headers
+
+
+class TestDrain:
+    def test_drain_stops_admission_finishes_inflight_persists_index(
+        self, tmp_path, direct_cert
+    ):
+        release = threading.Event()
+        store_dir = tmp_path / "store"
+        with running(
+            store_dir,
+            certify=_blocking_certify(release, direct_cert),
+            concurrency=1,
+        ) as (service, client):
+            inflight = {}
+            thread = threading.Thread(
+                target=lambda: inflight.update(
+                    zip(("status", "doc"), client.submit(TINY))
+                )
+            )
+            thread.start()
+            assert _wait(lambda: service.health()["in_flight"] == 1)
+
+            service.begin_drain()
+            status, doc = client.submit({**TINY, "seed": 999})
+            assert status == 503 and doc["status"] == "draining"
+            assert client.health()["status"] == "draining"
+
+            release.set()
+            thread.join(15)
+            assert inflight["status"] == 200  # in-flight work finished
+        # the context manager completed request_shutdown: daemon exited
+        # and the index it persisted is immediately usable
+        recovered = ResultStore(store_dir)
+        assert len(recovered.entries) == 1
+
+
+# ------------------------------------------------------------- chaos at the
+# service sites (the test_chaos.py methodology, extended to the daemon)
+
+
+class TestServiceChaos:
+    def test_new_sites_parse_in_the_mini_language(self):
+        spec = ChaosSpec.parse(
+            "seed=3;service.request:raise:0.5;service.store:bitrot;"
+            "service.drain:delay"
+        )
+        assert [f.site for f in spec.faults] == [
+            "service.request", "service.store", "service.drain",
+        ]
+
+    def test_request_chaos_fails_one_request_retry_succeeds(
+        self, tmp_path, direct_cert
+    ):
+        """A transient injected failure on the request path surfaces as a
+        structured 500; the client's retry (request index 2) is healthy."""
+        fault = ChaosFault("service.request", "raise", 0.5, 0)
+        seed = next(
+            s for s in range(100)
+            if _fires(ChaosSpec(seed=s), fault, 1, 1)
+            and not _fires(ChaosSpec(seed=s), fault, 2, 1)
+        )
+        chaos.configure(ChaosSpec(seed=seed, faults=(fault,)))
+        with running(
+            tmp_path / "store", certify=lambda design, *, key, config: direct_cert
+        ) as (service, client):
+            status, doc = client.submit(TINY)
+            assert status == 500
+            assert "chaos" in doc["error"].lower() or "injected" in doc["error"]
+            status, doc = client.submit(TINY)  # the healthy retry path
+            assert status == 200 and doc["status"] == "done"
+
+    def test_store_chaos_never_serves_corrupt_certificates(self, tmp_path):
+        """Persistent bitrot on every store write: the cache is defeated
+        (every hit fails verification and recomputes) but every response
+        is still a correct, bit-identical certificate."""
+        chaos.configure(
+            ChaosSpec(
+                seed=1,
+                faults=(ChaosFault("service.store", "bitrot", 1.0, 0),),
+            )
+        )
+        with running(tmp_path / "store") as (service, client):
+            status1, doc1 = client.submit(TINY)
+            status2, doc2 = client.submit(TINY)
+            assert status1 == status2 == 200
+            assert doc2["cached"] is None  # stored copy failed its checksum
+            assert service.counters["campaigns_started"] == 2
+            c1 = {k: v for k, v in doc1["certificate"].items() if k != "timing"}
+            c2 = {k: v for k, v in doc2["certificate"].items() if k != "timing"}
+            assert c1 == c2
+
+    def test_drain_chaos_cannot_prevent_shutdown(self, tmp_path, direct_cert):
+        chaos.configure(
+            ChaosSpec(
+                seed=1, faults=(ChaosFault("service.drain", "raise", 1.0, 0),)
+            )
+        )
+        store_dir = tmp_path / "store"
+        with running(
+            store_dir, certify=lambda design, *, key, config: direct_cert
+        ) as (service, client):
+            status, _ = client.submit(TINY)
+            assert status == 200
+        # the context manager drained despite the injected drain fault;
+        # the index was still persisted on the way out
+        assert len(ResultStore(store_dir).entries) == 1
+
+
+# -------------------------------------------------- eager env validation
+
+
+class TestEagerEnvValidation:
+    def test_daemon_refuses_bad_chaos_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "service.request:explode")
+        with pytest.raises(ValueError, match="REPRO_CHAOS"):
+            CertificationService(ServiceConfig(store_dir=tmp_path))
+
+    def test_daemon_refuses_bad_backend_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "turbo")
+        with pytest.raises(ValueError, match="REPRO_SIM_BACKEND"):
+            CertificationService(ServiceConfig(store_dir=tmp_path))
