@@ -7,13 +7,38 @@ Each cipher appears twice:
   exist; it is the oracle every netlist and countermeasure is tested
   against;
 - a *netlist* generator (``netlist_present``, ``netlist_gift``,
-  ``netlist_sbox_layer``) — a round-iterative hardware datapath built on
-  :mod:`repro.netlist`, which is what the fault campaigns attack.
+  ``netlist_aes``, ``netlist_sbox_layer``) — a round-iterative hardware
+  datapath built on :mod:`repro.netlist`, which is what the fault
+  campaigns attack.
+
+The :mod:`~repro.ciphers.registry` maps cipher names to spec factories;
+every by-name front-end (CLI, service, evaluation matrix, the cipherlight
+battery) resolves through it.
 """
 
 from repro.ciphers.aes import AES128
-from repro.ciphers.gift import Gift64
+from repro.ciphers.gift import Gift64, Gift128
 from repro.ciphers.present import Present80
+from repro.ciphers.registry import (
+    CipherEntry,
+    get_entry,
+    make_spec,
+    register_cipher,
+    registered_ciphers,
+    resolve_cipher,
+)
 from repro.ciphers.sbox import SBox
 
-__all__ = ["AES128", "Gift64", "Present80", "SBox"]
+__all__ = [
+    "AES128",
+    "CipherEntry",
+    "Gift64",
+    "Gift128",
+    "Present80",
+    "SBox",
+    "get_entry",
+    "make_spec",
+    "register_cipher",
+    "registered_ciphers",
+    "resolve_cipher",
+]

@@ -85,9 +85,15 @@ class AES128:
     rounds = 10
     sbox = AES_SBOX
 
-    def __init__(self, key: bytes) -> None:
+    def __init__(self, key: bytes, *, rounds: int | None = None) -> None:
         if len(key) != 16:
             raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        if rounds is not None:
+            if not 1 <= rounds <= type(self).rounds:
+                raise ValueError(
+                    f"rounds must be in [1, {type(self).rounds}]: {rounds}"
+                )
+            self.rounds = rounds
         self.key = bytes(key)
         self.round_keys = self._expand_key(key)
 

@@ -54,8 +54,9 @@ def int_to_block(value: int) -> bytes:
 class AesReference:
     """Integer-port adapter over :class:`repro.ciphers.aes.AES128`."""
 
-    def __init__(self, key: int) -> None:
-        self.cipher = AES128(int_to_block(key))
+    def __init__(self, key: int, *, rounds: int | None = None) -> None:
+        self.cipher = AES128(int_to_block(key), rounds=rounds)
+        self.rounds = self.cipher.rounds
         #: round keys as port integers (index 0 = whitening key)
         self.round_keys = [
             block_to_int(bytes(rk)) for rk in self.cipher.round_keys
@@ -107,7 +108,14 @@ class AesSpec(CipherSpec):
     rounds = ROUNDS
     sbox = AES_SBOX
 
-    def __init__(self, *, sbox_strategy: str = "shannon") -> None:
+    def __init__(
+        self, *, sbox_strategy: str = "shannon", rounds: int | None = None
+    ) -> None:
+        if rounds is not None:
+            # Reduced-round instance (CI smoke sweeps, quick certifies).
+            if not 1 <= rounds <= ROUNDS:
+                raise ValueError(f"rounds must be in [1, {ROUNDS}]: {rounds}")
+            self.rounds = rounds
         # the key schedule always uses the plain S-box (paper §III: "the
         # key schedule is not affected")
         self._key_sbox = synthesize_sbox(
@@ -115,7 +123,7 @@ class AesSpec(CipherSpec):
         )
 
     def reference(self, key: int) -> AesReference:
-        return AesReference(key)
+        return AesReference(key, rounds=self.rounds)
 
     # -- last-round structure (C = ShiftRows(S(x)) ⊕ K10) ----------------
 
@@ -227,12 +235,17 @@ class AesSpec(CipherSpec):
         # --- final-round select + AddRoundKey ------------------------------
         counter_q, counter_connect = builder.register(4, tag=f"{tag}/roundctr")
         counter_connect(builder.incrementer(counter_q, tag=f"{tag}/roundctr"))
-        # is_last == (counter == 9 == 0b1001)
-        not1 = builder.not_(counter_q[1], tag=f"{tag}/roundctr")
-        not2 = builder.not_(counter_q[2], tag=f"{tag}/roundctr")
+        # is_last == (counter == rounds - 1), as a 4-bit equality comparator
+        target = self.rounds - 1
+        matched = [
+            counter_q[i]
+            if (target >> i) & 1
+            else builder.not_(counter_q[i], tag=f"{tag}/roundctr")
+            for i in range(4)
+        ]
         is_last = builder.and_(
-            builder.and_(counter_q[0], counter_q[3], tag=f"{tag}/roundctr"),
-            builder.and_(not1, not2, tag=f"{tag}/roundctr"),
+            builder.and_(matched[0], matched[3], tag=f"{tag}/roundctr"),
+            builder.and_(matched[1], matched[2], tag=f"{tag}/roundctr"),
             tag=f"{tag}/roundctr",
         )
         selected = builder.mux_word(is_last, mc, sr, tag=f"{tag}/lastsel")

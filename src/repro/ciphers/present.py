@@ -52,9 +52,15 @@ class Present80:
     rounds = ROUNDS
     sbox = PRESENT_SBOX
 
-    def __init__(self, key: int) -> None:
+    def __init__(self, key: int, *, rounds: int | None = None) -> None:
         if key < 0 or key >> self.key_bits:
             raise ValueError(f"key does not fit in {self.key_bits} bits")
+        if rounds is not None:
+            if not 1 <= rounds <= type(self).rounds:
+                raise ValueError(
+                    f"rounds must be in [1, {type(self).rounds}]: {rounds}"
+                )
+            self.rounds = rounds
         self.key = key
         self.round_keys = self._key_schedule(key)
 

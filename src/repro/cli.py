@@ -104,6 +104,7 @@ def _cmd_matrix(args) -> int:
 
     matrix = run_attack_matrix(
         args.runs,
+        cipher=args.cipher,
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
@@ -112,12 +113,14 @@ def _cmd_matrix(args) -> int:
         [label,
          "BROKEN" if cells["dfa_identical"].success else "protected",
          "BROKEN" if cells["sifa"].success else "protected",
-         "BROKEN" if cells["fta"].success else "protected"]
+         "n/a" if cells["fta"] is None
+         else "BROKEN" if cells["fta"].success else "protected"]
         for label, cells in matrix.items()
     ]
     print(render_table(
         ["scheme", "identical-fault DFA", "SIFA", "FTA"], rows,
-        title=f"Attack x scheme matrix ({args.runs} runs per campaign)",
+        title=f"Attack x scheme matrix, {args.cipher} "
+        f"({args.runs} runs per campaign)",
     ))
     return 0
 
@@ -168,16 +171,18 @@ def _cmd_sca(args) -> int:
     return 0
 
 
-def _build_scheme(scheme: str, *, variant: str, rounds: int | None):
+def _build_scheme(scheme: str, *, cipher: str, variant: str, rounds: int | None):
     from repro.service.protocol import build_design
 
-    return build_design(scheme, variant=variant, rounds=rounds)
+    return build_design(scheme, cipher=cipher, variant=variant, rounds=rounds)
 
 
 def _cmd_certify(args) -> int:
     from repro.certify import DEFAULT_MODELS, CertifyConfig, certify_design
 
-    design = _build_scheme(args.scheme, variant=args.variant, rounds=args.rounds)
+    design = _build_scheme(
+        args.scheme, cipher=args.cipher, variant=args.variant, rounds=args.rounds
+    )
     config = CertifyConfig(
         budget=args.budget,
         runs_per_location=args.runs_per_location,
@@ -252,6 +257,7 @@ def _cmd_submit(args) -> int:
 
     request = {
         "scheme": args.scheme,
+        "cipher": args.cipher,
         "variant": args.variant,
         "rounds": args.rounds,
         "budget": args.budget,
@@ -297,20 +303,22 @@ def _cmd_submit(args) -> int:
 
 
 def _cmd_encrypt(args) -> int:
-    from repro.ciphers.netlist_present import PresentSpec
-    from repro.ciphers.present import Present80
+    from repro.ciphers.registry import make_spec
     from repro.countermeasures import build_three_in_one
 
+    spec = make_spec(args.cipher)
     key = int(args.key, 0)
     pt = int(args.pt, 0)
-    design = build_three_in_one(PresentSpec())
+    design = build_three_in_one(spec)
     sim = design.simulator(1, backend=args.backend)
     result = design.run(sim, [pt], key, rng=args.seed)
     ct = sum(int(b) << i for i, b in enumerate(result["ciphertext"][0]))
-    print(f"protected netlist ciphertext: {ct:016x}")
-    print(f"reference ciphertext:         {Present80(key).encrypt(pt):016x}")
+    expected = spec.reference(key).encrypt(pt)
+    width = spec.block_bits // 4
+    print(f"protected netlist ciphertext: {ct:0{width}x}")
+    print(f"reference ciphertext:         {expected:0{width}x}")
     print(f"fault flag: {int(result['fault'][0])}")
-    return 0 if ct == Present80(key).encrypt(pt) else 1
+    return 0 if ct == expected else 1
 
 
 def _cmd_stats(args) -> int:
@@ -333,6 +341,32 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
         help="simulation kernel: levelized (fast, default), compiled "
         "(fastest, AOT-generated) or reference (per-gate oracle); "
         "results are bit-identical",
+    )
+
+
+def _cipher_name(value: str) -> str:
+    """Argparse type for ``--cipher``: canonicalize or fail at parse time.
+
+    An unknown name exits 2 with the argument named and the registered
+    ciphers listed — same eager-validation contract as the REPRO_CHAOS /
+    REPRO_SIM_BACKEND environment checks.
+    """
+    from repro.ciphers.registry import resolve_cipher
+
+    try:
+        return resolve_cipher(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_cipher_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.ciphers.registry import registered_ciphers
+
+    parser.add_argument(
+        "--cipher", default="present80", type=_cipher_name,
+        metavar="{" + ",".join(registered_ciphers()) + "}",
+        help="registered cipher to build (aliases like 'present'/'aes' "
+        "accepted; unknown names are rejected at parse time)",
     )
 
 
@@ -403,6 +437,8 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if name in ("fig4", "fig5"):
             _add_backend_arg(p)
+        if name == "matrix":
+            _add_cipher_arg(p)
         p.set_defaults(fn=fn)
 
     psca = sub.add_parser(
@@ -420,13 +456,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", default="three-in-one",
         choices=["three-in-one", "naive", "acisp20", "triplication"],
     )
+    _add_cipher_arg(pcert)
     pcert.add_argument(
         "--variant", default="prime", choices=["prime", "per_round", "per_sbox"],
         help="λ variant (three-in-one only)",
     )
     pcert.add_argument(
         "--rounds", type=int, default=None,
-        help="reduced-round PRESENT instance (default: full 31)",
+        help="reduced-round cipher instance (default: the cipher's full "
+        "round count)",
     )
     pcert.add_argument(
         "--budget", type=int, default=None,
@@ -518,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", default="three-in-one",
         choices=["three-in-one", "naive", "acisp20", "triplication"],
     )
+    _add_cipher_arg(psubmit)
     psubmit.add_argument(
         "--variant", default="prime", choices=["prime", "per_round", "per_sbox"],
     )
@@ -540,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
     penc = sub.add_parser(
         "encrypt", help="one protected encryption vs the spec", parents=[common]
     )
+    _add_cipher_arg(penc)
     penc.add_argument("--key", default="0x0123456789abcdef0123")
     penc.add_argument("--pt", default="0xcafebabedeadbeef")
     penc.add_argument("--seed", type=int, default=1)

@@ -2,7 +2,9 @@
 
 These back both the benchmark harness and the CLI; see
 ``benchmarks/bench_attack_matrix.py`` and ``benchmarks/bench_round_sweep.py``
-for the asserted, artefact-producing versions.
+for the asserted, artefact-producing versions.  Both sweeps are generic
+over the cipher registry: ``cipher`` names any registered spec and the
+keys/plaintexts are widened to the cipher's port sizes.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from pathlib import Path
 
 from repro.attacks import selmke_attack, sifa_attack
 from repro.attacks.fta import fta_key_recovery
-from repro.ciphers.netlist_present import PresentSpec
+from repro.ciphers.registry import make_spec
 from repro.countermeasures import (
     build_acisp20,
     build_naive_duplication,
@@ -32,9 +34,26 @@ FTA_PLAINTEXTS = [
 ]
 
 
+def _fit_key(key: int, key_bits: int) -> int:
+    """Clip the default campaign key to the cipher's key-port width."""
+    return key & ((1 << key_bits) - 1)
+
+
+def _fta_plaintexts(block_bits: int) -> list[int]:
+    """The fixed FTA plaintext set, widened to the cipher's block size."""
+    if block_bits <= 64:
+        return [p & ((1 << block_bits) - 1) for p in FTA_PLAINTEXTS]
+    n = len(FTA_PLAINTEXTS)
+    return [
+        FTA_PLAINTEXTS[i] | (FTA_PLAINTEXTS[(i + 1) % n] << 64)
+        for i in range(n)
+    ]
+
+
 def run_attack_matrix(
     n_runs: int,
     *,
+    cipher: str = "present80",
     key: int = DEFAULT_KEY,
     jobs: int | None = None,
     checkpoint_dir=None,
@@ -47,7 +66,8 @@ def run_attack_matrix(
     (the heavy cells) through the resilient sharded executor, one
     checkpoint sub-directory per matrix cell.
     """
-    spec = PresentSpec()
+    spec = make_spec(cipher)
+    key = _fit_key(key, spec.key_bits)
     schemes = {
         "naive_duplication": build_naive_duplication(spec),
         "acisp20": build_acisp20(spec),
@@ -80,8 +100,20 @@ def run_attack_matrix(
             resume=resume,
         )
         sifa = sifa_attack(campaign, spec, 7, 1)
-        fta = fta_key_recovery(
-            design, sbox=3, plaintexts=FTA_PLAINTEXTS, key=key, n_rep=32, seed=7
+        # round-1 FTA key recovery templates the key addition *before* the
+        # first S-box layer; ciphers that add the key after it (GIFT) have
+        # no round-1 template target, so that cell is n/a.
+        fta = (
+            fta_key_recovery(
+                design,
+                sbox=3,
+                plaintexts=_fta_plaintexts(spec.block_bits),
+                key=key,
+                n_rep=32,
+                seed=7,
+            )
+            if spec.add_key_first
+            else None
         )
         matrix[label] = {"dfa_identical": selmke, "sifa": sifa, "fta": fta}
     return matrix
@@ -90,14 +122,19 @@ def run_attack_matrix(
 def run_round_sweep(
     n_runs: int,
     *,
+    cipher: str = "present80",
     key: int = DEFAULT_KEY,
-    rounds=(1, 5, 10, 16, 24, 30, 31),
+    rounds=None,
     target_sbox: int = 13,
     target_bit: int = 2,
 ) -> list[list]:
     """Per-round campaign stats for naïve duplication and the three-in-one
     design; one row per probed round (see bench_round_sweep for assertions)."""
-    spec = PresentSpec()
+    spec = make_spec(cipher)
+    key = _fit_key(key, spec.key_bits)
+    if rounds is None:
+        ladder = (1, 5, 10, 16, 24, 30, 31)
+        rounds = tuple(r for r in ladder if r < spec.rounds) + (spec.rounds,)
     designs = {
         "naive": build_naive_duplication(spec),
         "ours": build_three_in_one(spec),

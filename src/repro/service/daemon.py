@@ -160,12 +160,15 @@ class CertificationService:
         metrics.inc(f"service.{name}", n)
 
     def _key_and_design(self, norm: CertifyRequest):
-        sig = (norm.scheme, norm.variant, norm.rounds)
+        sig = (norm.scheme, norm.cipher, norm.variant, norm.rounds)
         with self._design_lock:
             design = self._designs.get(sig)
             if design is None:
                 design = build_design(
-                    norm.scheme, variant=norm.variant, rounds=norm.rounds
+                    norm.scheme,
+                    cipher=norm.cipher,
+                    variant=norm.variant,
+                    rounds=norm.rounds,
                 )
                 self._designs[sig] = design
         return request_key(norm, design), design

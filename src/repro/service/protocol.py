@@ -49,9 +49,22 @@ __all__ = [
 SCHEMES = ("three-in-one", "naive", "acisp20", "triplication")
 
 
-def build_design(scheme: str, *, variant: str = "prime", rounds: int | None = None):
-    """Instantiate a protected PRESENT design by name (the CLI's vocabulary)."""
-    from repro.ciphers.netlist_present import PresentSpec
+def build_design(
+    scheme: str,
+    *,
+    cipher: str = "present80",
+    variant: str = "prime",
+    rounds: int | None = None,
+):
+    """Instantiate a protected design by name (the CLI's vocabulary).
+
+    ``cipher`` resolves through :mod:`repro.ciphers.registry`, so every
+    registered cipher (PRESENT, GIFT-64, GIFT-128, AES-128, …) can be
+    wrapped by every scheme; unsupported λ-variants (e.g. ``per_sbox`` on
+    AES) are rejected with the registry's capability error before any
+    synthesis work.
+    """
+    from repro.ciphers.registry import get_entry
     from repro.countermeasures import (
         build_acisp20,
         build_naive_duplication,
@@ -60,7 +73,13 @@ def build_design(scheme: str, *, variant: str = "prime", rounds: int | None = No
     )
     from repro.countermeasures.three_in_one import LambdaVariant
 
-    spec = PresentSpec(rounds=rounds)
+    entry = get_entry(cipher)
+    if scheme == "three-in-one" and variant not in entry.variants:
+        raise ValueError(
+            f"cipher {entry.name!r} does not support the {variant!r} λ-variant "
+            f"(supported: {', '.join(entry.variants)})"
+        )
+    spec = entry.make(rounds=rounds)
     if scheme == "three-in-one":
         return build_three_in_one(spec, variant=LambdaVariant(variant))
     if scheme == "naive":
@@ -97,6 +116,7 @@ class CertifyRequest:
     """One certification campaign, as submitted to the daemon."""
 
     scheme: str = "three-in-one"
+    cipher: str = "present80"
     variant: str = "prime"
     rounds: int | None = None
     budget: int | None = None
@@ -111,10 +131,13 @@ class CertifyRequest:
     deadline_s: float | None = None
 
     def __post_init__(self) -> None:
+        from repro.ciphers.registry import resolve_cipher
+
         if self.scheme not in SCHEMES:
             raise ValueError(
                 f"unknown scheme {self.scheme!r} (known: {', '.join(SCHEMES)})"
             )
+        resolve_cipher(self.cipher)  # raises ValueError listing the registry
         int(self.key, 0)  # must be a parseable integer literal
 
     @classmethod
@@ -138,6 +161,7 @@ class CertifyRequest:
     def to_dict(self) -> dict:
         return {
             "scheme": self.scheme,
+            "cipher": self.cipher,
             "variant": self.variant,
             "rounds": self.rounds,
             "budget": self.budget,
@@ -153,10 +177,12 @@ class CertifyRequest:
     def normalized(self) -> "CertifyRequest":
         """Resolve every defaultable field to its canonical value."""
         from repro.certify import DEFAULT_MODELS
+        from repro.ciphers.registry import resolve_cipher
         from repro.netlist.simulator import resolve_backend
 
         return replace(
             self,
+            cipher=resolve_cipher(self.cipher),
             models=tuple(self.models) if self.models is not None else DEFAULT_MODELS,
             key=str(int(self.key, 0)),
             backend=resolve_backend(self.backend),
@@ -172,7 +198,7 @@ def request_key(request: CertifyRequest, design=None) -> str:
     norm = request.normalized()
     if design is None:
         design = build_design(
-            norm.scheme, variant=norm.variant, rounds=norm.rounds
+            norm.scheme, cipher=norm.cipher, variant=norm.variant, rounds=norm.rounds
         )
     doc = {
         "kind": "certify-request",

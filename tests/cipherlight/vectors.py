@@ -1,0 +1,102 @@
+"""Known-answer vectors for every registered cipher.
+
+``PUBLISHED`` holds official test vectors in this package's port-integer
+conventions:
+
+- PRESENT-80: the four vectors from the CHES 2007 paper (big-endian state,
+  bit 63 most significant — the spec's own numbering maps directly onto
+  the 64-bit port integer).
+- GIFT-64 / GIFT-128: the vectors published with the CHES 2017 paper
+  (bit ``i`` of the integer is spec bit ``b_i``).
+- AES-128: the FIPS-197 appendix C example and the first SP 800-38A
+  AES-ECB vector, converted from FIPS byte order to the netlist port
+  convention (``block_to_int`` — 128-bit little-endian over the state
+  bytes).
+
+``REDUCED`` pins regression ciphertexts for each registry entry's
+``fast_rounds`` instance under fixed inputs.  These are *not* published
+values — they guard the reduced-round plumbing (key-schedule truncation,
+final-round selection, round-aware reference oracles) against silent
+drift: software model and netlist must both still hit them.
+"""
+
+# (key, plaintext, ciphertext) port integers, per canonical cipher name.
+PUBLISHED = {
+    "present80": [
+        (0x00000000000000000000, 0x0000000000000000, 0x5579C1387B228445),
+        (0xFFFFFFFFFFFFFFFFFFFF, 0x0000000000000000, 0xE72C46C0F5945049),
+        (0x00000000000000000000, 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B),
+        (0xFFFFFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2),
+    ],
+    "gift64": [
+        (
+            0x00000000000000000000000000000000,
+            0x0000000000000000,
+            0xF62BC3EF34F775AC,
+        ),
+        (
+            0xBD91731EB6BC2713A1F9F6FFC75044E7,
+            0xC450C7727A9B8A7D,
+            0xE3272885FA94BA8B,
+        ),
+    ],
+    "gift128": [
+        (
+            0x00000000000000000000000000000000,
+            0x00000000000000000000000000000000,
+            0xCD0BD738388AD3F668B15A36CEB6FF92,
+        ),
+        (
+            0xFEDCBA9876543210FEDCBA9876543210,
+            0xFEDCBA9876543210FEDCBA9876543210,
+            0x8422241A6DBF5A9346AF468409EE0152,
+        ),
+        (
+            0xD0F5C59A7700D3E799028FA9F90AD837,
+            0xE39C141FA57DBA43F08A85B6A91F86C1,
+            0x13EDE67CBDCC3DBF400A62D6977265EA,
+        ),
+    ],
+    "aes128": [
+        # FIPS-197 appendix C: key 000102..0f, pt 00112233..eeff
+        (
+            0x0F0E0D0C0B0A09080706050403020100,
+            0xFFEEDDCCBBAA99887766554433221100,
+            0x5AC5B47080B7CDD830047B6AD8E0C469,
+        ),
+        # SP 800-38A F.1.1 AES-ECB-128, block 1
+        (
+            0x3C4FCF098815F7ABA6D2AE2816157E2B,
+            0x2A179373117E3DE9969F402EE2BEC16B,
+            0x97EF6624F3CA9EA860367A0DB47BD73A,
+        ),
+    ],
+}
+
+# (rounds, key, plaintext, ciphertext) for the fast reduced-round specs.
+REDUCED = {
+    "present80": (
+        4,
+        0x1A2B3C4D5E6F708192A3,
+        0x0123456789ABCDEF,
+        0xD1747BFD28F0D51F,
+    ),
+    "gift64": (
+        4,
+        0x000102030405060708090A0B0C0D0E0F,
+        0xFEDCBA9876543210,
+        0x757264ACEB25862F,
+    ),
+    "gift128": (
+        3,
+        0xD0F5C59A7700D3E799028FA9F90AD837,
+        0xE39C141FA57DBA43F08A85B6A91F86C1,
+        0x230569473B7027CAF2C427556F8FC08A,
+    ),
+    "aes128": (
+        3,
+        0x3C4FCF098815F7ABA6D2AE2816157E2B,
+        0x2A179373117E3DE9969F402EE2BEC16B,
+        0x25EC77BBEB6EF0768714A6F43C267E69,
+    ),
+}

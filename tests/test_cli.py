@@ -33,6 +33,34 @@ class TestParser:
         assert args.scheme == "naive" and args.deadline == 1.5
 
 
+class TestCipherArgument:
+    """``--cipher`` resolves through the registry at argument-parse time:
+    aliases normalise to canonical names, unknown ciphers exit 2 naming
+    the argument and listing what IS registered."""
+
+    @pytest.mark.parametrize("cmd", ["certify", "submit", "encrypt", "matrix"])
+    def test_unknown_cipher_rejected_at_parse_time(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args([cmd, "--cipher", "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cipher" in err and "unknown cipher 'bogus'" in err
+        assert "present80" in err and "aes128" in err  # lists the registry
+
+    @pytest.mark.parametrize(
+        ("alias", "canonical"),
+        [("aes", "aes128"), ("AES128", "aes128"), ("present", "present80"),
+         ("gift", "gift64"), ("gift128", "gift128")],
+    )
+    def test_aliases_normalise_to_canonical_names(self, alias, canonical):
+        args = build_parser().parse_args(["certify", "--cipher", alias])
+        assert args.cipher == canonical
+
+    def test_cipher_defaults_to_present80(self):
+        for cmd in ("certify", "submit", "encrypt", "matrix"):
+            assert build_parser().parse_args([cmd]).cipher == "present80"
+
+
 class TestEagerEnvValidation:
     """Typos in REPRO_CHAOS / REPRO_SIM_BACKEND fail at argument-parse
     time with the variable named, for every subcommand (exit 2) — not

@@ -23,7 +23,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.ciphers.netlist_present import PresentSpec
 from repro.countermeasures import build_three_in_one
 from repro.faults import run_campaign
 from repro.faults.injector import FaultInjector
@@ -297,9 +296,14 @@ class TestFaultOrderingContract:
             assert got[run] == (d0 if sel else d1)  # select inverted
 
 
-@pytest.fixture(scope="module")
-def reduced_design():
-    return build_three_in_one(PresentSpec(rounds=4))
+@pytest.fixture(scope="module", params=["present80", "gift64"])
+def reduced_design(request):
+    """Reduced-round protected designs, parametrized over the cipher
+    registry so backend equivalence is proven beyond PRESENT."""
+    from repro.ciphers.registry import get_entry
+
+    entry = get_entry(request.param)
+    return build_three_in_one(entry.make(rounds=entry.fast_rounds))
 
 
 class TestCampaignEquivalence:
