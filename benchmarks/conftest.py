@@ -25,6 +25,12 @@ Scale knobs (environment variables):
     against *this file's* location (never the process CWD, so running
     pytest from anywhere — including an installed ``src/`` tree — cannot
     scatter ``BENCH_*.json`` files into the package).
+
+``REPRO_BENCH_HISTORY``
+    Benchmark-history ledger path (default ``<out>/bench_history.jsonl``).
+    Every ``bench_report`` emission also appends one line here so
+    ``repro bench check`` can judge the newest run against the series'
+    rolling baseline.
 """
 
 from __future__ import annotations
@@ -101,6 +107,8 @@ def bench_report(
     """
     from repro.resilience.persist import atomic_write_json
 
+    from repro.telemetry.history import append_entry, resolve_history_path
+
     path = artifact_dir / f"BENCH_{name}.json"
     report = {
         "name": name,
@@ -109,4 +117,5 @@ def bench_report(
         "manifest": run_manifest(kind="bench", bench=name),
     }
     atomic_write_json(path, report)
+    append_entry(resolve_history_path(artifact_dir), report)
     return path

@@ -164,6 +164,9 @@ def certify_design(
         jobs=config.jobs,
         seed=config.seed,
     )
+    request_id = trace.context().get("request_id")
+    if request_id is not None:
+        manifest["request_id"] = request_id
     with trace.span("certify.lint", scheme=design.scheme):
         lint = lint_countermeasure(design, strict=False)
     with trace.span("certify.enumerate", scheme=design.scheme):

@@ -273,13 +273,24 @@ def _cmd_submit(args) -> int:
     }
     try:
         client = ServiceClient(args.url)
-        status, doc = client.submit(request)
+        status, doc = client.submit(request, wait=args.wait)
     except ServiceError as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
         return EXIT_UNAVAILABLE
+    rid = doc.get("request_id")
+    if rid:
+        print(f"request id: {rid}", file=sys.stderr)
     if status == 400:
         print(f"request rejected: {doc.get('error')}", file=sys.stderr)
         return 2
+    if status == 202:
+        print(f"accepted: request {rid} key {doc.get('key')}")
+        print(
+            "follow with 'repro top' or GET /status; fetch the result "
+            "with GET /certificate/<key>",
+            file=sys.stderr,
+        )
+        return 0
     if status != 200:
         retry = doc.get("retry_after_s")
         print(
@@ -300,6 +311,127 @@ def _cmd_submit(args) -> int:
         certificate.save(args.out)
         print(f"certificate written to {args.out}")
     return 0 if certificate.passed else 1
+
+
+def _cmd_top(args) -> int:
+    """Live dashboard over a running daemon's GET /status."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.top import run_top
+
+    client = ServiceClient(args.url)
+    try:
+        return run_top(
+            client,
+            interval=args.interval,
+            iterations=1 if args.once else None,
+        )
+    except ServiceError as exc:
+        print(f"top failed: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+
+
+def _cmd_trace_analyze(args) -> int:
+    """Per-request deep dive into a recorded JSONL trace."""
+    from repro.telemetry.stats import (
+        TraceError,
+        analyze_request,
+        load_trace,
+        render_analysis,
+        request_ids,
+    )
+
+    try:
+        records = load_trace(args.trace_file)
+    except (OSError, TraceError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    rid = args.request
+    if rid is None:
+        ids = request_ids(records)
+        with_spans = [r for r, info in ids.items() if info["spans"]]
+        if len(with_spans) == 1:
+            rid = with_spans[0]
+        elif not with_spans:
+            print("trace carries no request-correlated spans", file=sys.stderr)
+            return 1
+        else:
+            print("multiple requests in trace; pick one with --request:")
+            for name in sorted(ids):
+                info = ids[name]
+                print(
+                    f"  {name}: {info['spans']} spans, {info['events']} events"
+                )
+            return 1
+    try:
+        analysis = analyze_request(records, rid)
+    except TraceError as exc:
+        print(f"analyze failed: {exc}", file=sys.stderr)
+        known = sorted(request_ids(records))
+        if known:
+            print(f"request ids in this trace: {', '.join(known)}", file=sys.stderr)
+        return 1
+    print(render_analysis(analysis, max_shards=args.max_shards))
+    return 0
+
+
+def _cmd_bench_history(args) -> int:
+    """Show the append-only benchmark-history ledger."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.telemetry.history import (
+        append_entry,
+        load_history,
+        render_history,
+        resolve_history_path,
+    )
+
+    path = Path(args.history) if args.history else resolve_history_path()
+    if args.import_dir:
+        # backfill: fold existing BENCH_*.json reports into the ledger
+        imported = 0
+        for report_path in sorted(Path(args.import_dir).glob("BENCH_*.json")):
+            report = _json.loads(report_path.read_text())
+            append_entry(path, report)
+            imported += 1
+        print(f"imported {imported} report(s) into {path}", file=sys.stderr)
+    try:
+        history = load_history(path)
+    except ValueError as exc:
+        print(f"corrupt history: {exc}", file=sys.stderr)
+        return 1
+    print(render_history(history))
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    """Regression sentinel: newest run vs rolling robust baseline."""
+    from pathlib import Path
+
+    from repro.telemetry.history import (
+        check,
+        load_history,
+        render_check,
+        resolve_history_path,
+    )
+
+    path = Path(args.history) if args.history else resolve_history_path()
+    try:
+        history = load_history(path)
+    except ValueError as exc:
+        print(f"corrupt history: {exc}", file=sys.stderr)
+        return 1
+    if not history:
+        print(f"no benchmark history at {path}; nothing to check")
+        return 0
+    report = check(
+        history,
+        tolerance=args.tolerance,
+        window=args.window,
+        min_samples=args.min_samples,
+    )
+    print(render_check(report))
+    return 1 if report["regressions"] else 0
 
 
 def _cmd_encrypt(args) -> int:
@@ -573,8 +705,30 @@ def build_parser() -> argparse.ArgumentParser:
         "expiry)",
     )
     psubmit.add_argument("--out", default=None, help="save the certificate here")
+    psubmit.add_argument(
+        "--wait", default=True, action=argparse.BooleanOptionalAction,
+        help="--no-wait returns immediately after admission (202) with the "
+        "request id; follow progress via 'repro top' or GET /status",
+    )
     _add_backend_arg(psubmit)
     psubmit.set_defaults(fn=_cmd_submit)
+
+    ptop = sub.add_parser(
+        "top",
+        help="live TTY dashboard over a running daemon's GET /status",
+        parents=[common],
+    )
+    ptop.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="daemon base URL"
+    )
+    ptop.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between polls"
+    )
+    ptop.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (scripts/CI)",
+    )
+    ptop.set_defaults(fn=_cmd_top)
 
     penc = sub.add_parser(
         "encrypt", help="one protected encryption vs the spec", parents=[common]
@@ -596,6 +750,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=15, help="span names to show (by total time)"
     )
     pstats.set_defaults(fn=_cmd_stats)
+
+    ptrace = sub.add_parser(
+        "trace",
+        help="inspect recorded traces (trace analyze FILE --request ID)",
+        parents=[common],
+    )
+    trace_sub = ptrace.add_subparsers(dest="trace_command", required=True)
+    panalyze = trace_sub.add_parser(
+        "analyze",
+        help="per-request span tree, critical path, phase/shard breakdown",
+        parents=[common],
+    )
+    panalyze.add_argument("trace_file", help="JSONL trace written by --trace")
+    panalyze.add_argument(
+        "--request", default=None, metavar="ID",
+        help="request id to analyze (auto-selected when the trace has "
+        "exactly one)",
+    )
+    panalyze.add_argument(
+        "--max-shards", type=int, default=10,
+        help="rows in the slowest-shard table",
+    )
+    panalyze.set_defaults(fn=_cmd_trace_analyze)
+
+    pbench = sub.add_parser(
+        "bench",
+        help="benchmark history ledger and perf-regression sentinel",
+        parents=[common],
+    )
+    bench_sub = pbench.add_subparsers(dest="bench_command", required=True)
+    phistory = bench_sub.add_parser(
+        "history",
+        help="show the append-only bench_history.jsonl ledger",
+        parents=[common],
+    )
+    phistory.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="ledger path (default: REPRO_BENCH_HISTORY or "
+        "benchmarks/out/bench_history.jsonl)",
+    )
+    phistory.add_argument(
+        "--import-dir", default=None, metavar="DIR",
+        help="backfill: append every BENCH_*.json in DIR before listing",
+    )
+    phistory.set_defaults(fn=_cmd_bench_history)
+    pcheck = bench_sub.add_parser(
+        "check",
+        help="compare each series' newest run against its rolling "
+        "median±MAD baseline; exit 1 on regression",
+        parents=[common],
+    )
+    pcheck.add_argument("--history", default=None, metavar="FILE")
+    pcheck.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="minimum relative noise band (fraction of the median)",
+    )
+    pcheck.add_argument(
+        "--window", type=int, default=8,
+        help="baseline runs considered per series",
+    )
+    pcheck.add_argument(
+        "--min-samples", type=int, default=3,
+        help="baseline runs required before a series is judged",
+    )
+    pcheck.set_defaults(fn=_cmd_bench_check)
     return parser
 
 
@@ -675,8 +894,21 @@ def main(argv: list[str] | None = None) -> int:
                 kind="cli", command=args.command, argv=list(argv or sys.argv[1:])
             ),
         )
+    # One-shot commands get a synthetic request id so their records are
+    # correlated the same way the daemon's are ('repro trace analyze'
+    # works on any trace).  'serve' is exempt: the daemon assigns real
+    # per-request ids and must not stamp its whole lifetime with one.
+    import contextlib
+    import os as _os
+
+    correlate = (
+        trace.bind(request_id=f"cli-{_os.getpid()}-{args.command}")
+        if args.command != "serve"
+        else contextlib.nullcontext()
+    )
     try:
-        return args.fn(args)
+        with correlate:
+            return args.fn(args)
     except CheckpointError as exc:
         # A stale or foreign checkpoint directory is an operator error, not
         # a crash: name the mismatch and exit with a distinct status so

@@ -317,7 +317,7 @@ def _worker_shard(index: int, lo: int, hi: int, attempt: int):
     # metrics into buffers and ship them home with the arrays — workers
     # never touch the sink file.
     metrics.reset()
-    with trace.capture() as records:
+    with trace.bind(**(tele.get("ctx") or {})), trace.capture() as records:
         with trace.span("executor.shard", shard=index, lo=lo, hi=hi, attempt=attempt):
             with _deadline(timeout):
                 chaos.at("worker", index=index, attempt=attempt, in_worker=True)
@@ -562,6 +562,9 @@ class _Supervisor:
         tele = {
             "capture": trace.enabled,
             "kernel_metrics": kernel_timings_enabled(),
+            # the supervisor thread's correlation fields (request_id, ...)
+            # travel to workers so captured shard spans stay attributable
+            "ctx": dict(trace.context()),
         }
         try:
             payload = pickle.dumps(

@@ -23,6 +23,7 @@ from repro.service.protocol import (
     request_key,
 )
 from repro.service.store import ResultStore
+from repro.service.top import render_status, run_top
 
 __all__ = [
     "CertificationService",
@@ -35,5 +36,7 @@ __all__ = [
     "ServiceUnavailable",
     "build_design",
     "circuit_digest",
+    "render_status",
     "request_key",
+    "run_top",
 ]

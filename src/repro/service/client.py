@@ -30,23 +30,28 @@ class ServiceClient:
         self.timeout = timeout
 
     def _request(
-        self, method: str, path: str, body: dict | None = None
-    ) -> tuple[int, dict, dict]:
-        """Returns ``(status, parsed_json, headers)``."""
+        self, method: str, path: str, body: dict | None = None,
+        *, headers: dict | None = None, raw: bool = False,
+    ) -> tuple[int, object, dict]:
+        """Returns ``(status, parsed_json_or_text, headers)``."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             payload = json.dumps(body).encode() if body is not None else None
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
+            send_headers = dict(headers or {})
+            if payload:
+                send_headers.setdefault("Content-Type", "application/json")
+            conn.request(method, path, body=payload, headers=send_headers)
             response = conn.getresponse()
-            raw = response.read()
+            data = response.read()
+            if raw:
+                return response.status, data.decode(), dict(response.getheaders())
             try:
-                doc = json.loads(raw.decode() or "{}")
+                doc = json.loads(data.decode() or "{}")
             except ValueError as exc:
                 raise ServiceError(
-                    f"unparseable response ({response.status}): {raw[:200]!r}"
+                    f"unparseable response ({response.status}): {data[:200]!r}"
                 ) from exc
             return response.status, doc, dict(response.getheaders())
         except (OSError, http.client.HTTPException) as exc:
@@ -67,13 +72,35 @@ class ServiceClient:
             raise ServiceError(f"metrics returned {status}: {doc}")
         return doc.get("metrics", {})
 
-    def submit(self, request: dict) -> tuple[int, dict]:
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the daemon's metrics."""
+        status, text, _ = self._request(
+            "GET", "/metrics", headers={"Accept": "text/plain"}, raw=True
+        )
+        if status != 200:
+            raise ServiceError(f"metrics returned {status}: {text[:200]}")
+        return text
+
+    def status(self) -> dict:
+        """Live introspection doc: in-flight requests, progress, counters."""
+        status, doc, _ = self._request("GET", "/status")
+        if status != 200:
+            raise ServiceError(f"status returned {status}: {doc}")
+        return doc
+
+    def submit(self, request: dict, *, wait: bool = True) -> tuple[int, dict]:
         """POST a certify request; returns ``(http_status, response_doc)``.
 
         200 → ``{"status": "done", "certificate": {...}, "cached": ...}``;
-        429 → shed (honour ``retry_after_s``); 503 → draining/quarantined.
+        202 → accepted without waiting (``wait=False``; poll ``status()``
+        then ``certificate(doc["key"])``); 429 → shed (honour
+        ``retry_after_s``); 503 → draining/quarantined.  Every response
+        carries the server-assigned ``request_id``.
         """
-        status, doc, _ = self._request("POST", "/certify", body=request)
+        body = dict(request)
+        if not wait:
+            body["wait"] = False
+        status, doc, _ = self._request("POST", "/certify", body=body)
         return status, doc
 
     def certificate(self, key: str) -> dict | None:

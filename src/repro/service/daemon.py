@@ -6,7 +6,9 @@ parts:
 
 - an **HTTP/JSON listener** (hand-rolled over ``asyncio.start_server`` —
   no framework dependency) exposing ``POST /certify``, ``GET
-  /certificate/<key>``, ``GET /healthz`` and ``GET /metrics``;
+  /certificate/<key>``, ``GET /healthz``, ``GET /status`` and ``GET
+  /metrics`` (JSON by default, Prometheus text exposition when the
+  client sends ``Accept: text/plain``);
 - a pool of **campaign workers** (asyncio tasks) that pull admitted
   requests off a queue and run :func:`repro.certify.certify_design` in a
   thread, checkpointed under the store's ``work/<key>`` directory so any
@@ -47,6 +49,18 @@ Chaos sites ``service.request`` / ``service.store`` / ``service.drain``
 instrument the request path, the store writes and the drain sequence, so
 the seeded replay methodology of ``tests/test_chaos.py`` extends to the
 daemon end to end.
+
+**Request correlation** — every ``POST /certify`` is assigned a
+``request_id`` (``req-NNNNNN``), returned in the response and threaded
+through the campaign thread (:meth:`Tracer.bind`), the executor and pool
+workers, so every span and event of the campaign carries the id and
+``repro trace analyze --request`` reconstructs the request end to end.
+The campaign's :class:`~repro.telemetry.progress.ProgressTracker`
+publishes under the same id to the live board, which ``GET /status``
+merges with the request registry: per-request state, shard progress %,
+ETA, plus queue depth, breaker lanes and store/dedupe counters.  A
+request carrying ``"wait": false`` is acknowledged immediately with
+``202 Accepted`` (poll ``/status`` then ``/certificate/<key>``).
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ import logging
 import signal
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.resilience.chaos import ChaosSpec, chaos
@@ -64,7 +79,13 @@ from repro.resilience.errors import classify_error
 from repro.service.breaker import CircuitBreaker
 from repro.service.protocol import CertifyRequest, build_design, request_key
 from repro.service.store import ResultStore
-from repro.telemetry import metrics, trace
+from repro.telemetry import (
+    clear_live,
+    live_progress,
+    metrics,
+    render_prometheus,
+    trace,
+)
 
 __all__ = ["CertificationService", "ServiceConfig", "ServiceUnavailable"]
 
@@ -152,6 +173,10 @@ class CertificationService:
         self._queue: asyncio.Queue | None = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._stop: asyncio.Event | None = None
+        #: request_id -> live registry entry (queued/running campaigns)
+        self._requests: dict[str, dict] = {}
+        #: most recently finished requests, newest first (for /status)
+        self._recent: deque = deque(maxlen=16)
 
     # ------------------------------------------------------------- plumbing
 
@@ -195,7 +220,10 @@ class CertificationService:
 
     # ------------------------------------------------------------- campaign
 
-    def _run_campaign(self, norm: CertifyRequest, design, backend: str, key: str):
+    def _run_campaign(
+        self, norm: CertifyRequest, design, backend: str, key: str,
+        rid: str, parent_span: str | None,
+    ):
         from repro.certify import CertifyConfig
 
         deadline = (
@@ -215,7 +243,14 @@ class CertificationService:
             resume=True,
             wall_budget=deadline,
         )
-        certificate = self._certify(design, key=int(norm.key, 0), config=config)
+        # The campaign thread binds the request id so every span/event it
+        # (and its pool workers) writes is stamped, publishes live
+        # progress under it, and adopts the loop thread's
+        # ``service.campaign`` span so the trace stays one tree.
+        with trace.bind(request_id=rid), trace.adopt(parent_span):
+            certificate = self._certify(
+                design, key=int(norm.key, 0), config=config
+            )
         if not certificate.degraded:
             with self._store_lock:
                 self.store.put(key, certificate)
@@ -223,15 +258,15 @@ class CertificationService:
 
     async def _worker(self) -> None:
         while True:
-            key, norm, design, future = await self._queue.get()
+            key, norm, design, future, rid = await self._queue.get()
             try:
                 if not future.done():
-                    await self._execute(key, norm, design, future)
+                    await self._execute(key, norm, design, future, rid)
             finally:
                 self._inflight.pop(key, None)
                 self._queue.task_done()
 
-    async def _execute(self, key, norm, design, future) -> None:
+    async def _execute(self, key, norm, design, future, rid) -> None:
         cipher = design.spec.name
         try:
             backend = self._choose_backend(norm, cipher)
@@ -239,12 +274,20 @@ class CertificationService:
             future.set_exception(exc)
             return
         self._count("campaigns_started")
+        entry = self._requests.get(rid)
+        if entry is not None:
+            entry["state"] = "running"
+            entry["backend"] = backend
+            entry["started_t"] = round(time.time(), 3)
         with trace.span(
-            "service.campaign", key=key[:16], scheme=norm.scheme, backend=backend
-        ):
+            "service.campaign", key=key[:16], scheme=norm.scheme,
+            backend=backend, request_id=rid,
+        ) as campaign_span:
+            parent_span = getattr(campaign_span, "span_id", None)
             try:
                 certificate = await asyncio.to_thread(
-                    self._run_campaign, norm, design, backend, key
+                    self._run_campaign, norm, design, backend, key, rid,
+                    parent_span,
                 )
             except Exception as exc:
                 kind = str(classify_error(exc))
@@ -279,20 +322,27 @@ class CertificationService:
 
     # -------------------------------------------------------------- request
 
-    async def handle_request(self, doc: dict) -> tuple[int, dict]:
-        """Process one ``POST /certify`` body; returns (http_status, doc)."""
+    async def handle_request(self, doc: dict, *, wait: bool = True) -> tuple[int, dict]:
+        """Process one ``POST /certify`` body; returns (http_status, doc).
+
+        ``wait=False`` acknowledges an admitted campaign with ``202``
+        immediately (``request_id`` + ``key`` for /status + /certificate
+        polling) instead of holding the connection open.
+        """
         self._req_index += 1
+        rid = f"req-{self._req_index:06d}"
         self._count("requests")
         chaos.at("service.request", index=self._req_index)
         try:
             request = CertifyRequest.from_dict(doc).normalized()
         except (ValueError, TypeError) as exc:
             self._count("bad_requests")
-            return 400, {"status": "bad_request", "error": str(exc)}
+            return 400, {"status": "bad_request", "error": str(exc), "request_id": rid}
         if self._draining:
             return 503, {
                 "status": "draining",
                 "retry_after_s": self.config.retry_after_s,
+                "request_id": rid,
             }
         key, design = await asyncio.to_thread(self._key_and_design, request)
 
@@ -300,12 +350,23 @@ class CertificationService:
             stored = self.store.get(key)
         if stored is not None:
             self._count("dedupe_hits_store")
-            return 200, self._done(key, stored, cached="store")
+            doc = self._done(key, stored, cached="store")
+            doc["request_id"] = rid
+            return 200, doc
 
         future = self._inflight.get(key)
         if future is not None:
             self._count("dedupe_hits_inflight")
-            return await self._await_result(key, future, cached="inflight")
+            if not wait:
+                return 202, {
+                    "status": "accepted",
+                    "request_id": rid,
+                    "key": key,
+                    "cached": "inflight",
+                }
+            status, doc = await self._await_result(key, future, cached="inflight")
+            doc["request_id"] = rid
+            return status, doc
 
         admitted = self._queue.qsize() + sum(
             1 for f in self._inflight.values() if not f.done()
@@ -313,17 +374,64 @@ class CertificationService:
         if admitted >= self.config.max_queue:
             self._count("shed")
             retry = self.config.retry_after_s * max(1, admitted)
-            trace.event("service.shed", queue_depth=admitted)
+            trace.event("service.shed", queue_depth=admitted, request_id=rid)
             return 429, {
                 "status": "shed",
                 "queue_depth": admitted,
                 "retry_after_s": retry,
+                "request_id": rid,
             }
 
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        await self._queue.put((key, request, design, future))
-        return await self._await_result(key, future, cached=None)
+        self._requests[rid] = {
+            "request_id": rid,
+            "key": key,
+            "state": "queued",
+            "scheme": request.scheme,
+            "cipher": request.cipher,
+            "backend": request.backend,
+            "queued_t": round(time.time(), 3),
+        }
+        trace.event(
+            "request.accepted", request_id=rid, key=key[:16],
+            scheme=request.scheme, cipher=request.cipher, wait=wait,
+        )
+        # The callback both maintains the registry and retrieves the
+        # future's exception, so fire-and-forget (wait=False) campaign
+        # failures never log "exception was never retrieved".
+        future.add_done_callback(
+            lambda f, rid=rid, key=key: self._finish_request(rid, key, f)
+        )
+        await self._queue.put((key, request, design, future, rid))
+        if not wait:
+            return 202, {"status": "accepted", "request_id": rid, "key": key}
+        status, doc = await self._await_result(key, future, cached=None)
+        doc["request_id"] = rid
+        return status, doc
+
+    def _finish_request(self, rid: str, key: str, future) -> None:
+        """Move a finished request from the live registry to /status recents."""
+        clear_live(rid)
+        entry = self._requests.pop(rid, None)
+        if entry is None:
+            return
+        entry["finished_t"] = round(time.time(), 3)
+        if future.cancelled():
+            entry["state"] = "cancelled"
+        elif future.exception() is not None:
+            exc = future.exception()
+            entry["state"] = "failed"
+            entry["error"] = f"{type(exc).__name__}: {exc}"
+        else:
+            certificate, backend = future.result()
+            entry["state"] = "degraded" if certificate.degraded else "done"
+            entry["backend"] = backend
+            entry["passed"] = certificate.passed
+        trace.event(
+            "request.done", request_id=rid, key=key[:16], state=entry["state"]
+        )
+        self._recent.appendleft(entry)
 
     async def _await_result(self, key, future, *, cached) -> tuple[int, dict]:
         try:
@@ -367,17 +475,23 @@ class CertificationService:
             status, doc, extra = 500, {
                 "status": "error", "error": f"{type(exc).__name__}: {exc}",
             }, {}
-        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        if isinstance(doc, str):
+            # pre-rendered text body (Prometheus exposition)
+            body = doc.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
                   404: "Not Found", 429: "Too Many Requests",
                   500: "Internal Server Error", 503: "Service Unavailable"}
         headers = [
             f"HTTP/1.1 {status} {reason.get(status, 'OK')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        if "retry_after_s" in doc:
+        if isinstance(doc, dict) and "retry_after_s" in doc:
             headers.append(f"Retry-After: {max(1, round(doc['retry_after_s']))}")
         for name, value in (extra or {}).items():
             headers.append(f"{name}: {value}")
@@ -413,7 +527,12 @@ class CertificationService:
         if method == "GET" and path == "/healthz":
             return 200, self.health(), {}
         if method == "GET" and path == "/metrics":
+            accept = headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                return 200, render_prometheus(metrics.snapshot()), {}
             return 200, {"metrics": metrics.snapshot()}, {}
+        if method == "GET" and path == "/status":
+            return 200, self.status(), {}
         if method == "GET" and path.startswith("/certificate/"):
             key = path[len("/certificate/"):]
             with self._store_lock:
@@ -426,7 +545,12 @@ class CertificationService:
                 doc = json.loads(body.decode() or "{}")
             except ValueError as exc:
                 return 400, {"status": "bad_request", "error": f"bad JSON: {exc}"}, {}
-            status, response = await self.handle_request(doc)
+            # "wait" is transport-level (hold the connection or not), not
+            # part of the request identity — peel it off before parsing.
+            wait = True
+            if isinstance(doc, dict):
+                wait = bool(doc.pop("wait", True))
+            status, response = await self.handle_request(doc, wait=wait)
             return status, response, {}
         return 404, {"status": "not_found", "path": path}, {}
 
@@ -444,6 +568,39 @@ class CertificationService:
                 "pending_work": self.store.pending_work(),
             },
         }
+
+    def status(self) -> dict:
+        """Live introspection: health + per-request registry and progress.
+
+        Each in-flight request is joined against the telemetry live
+        board, so a running campaign reports shard-level progress %,
+        throughput and ETA in real time.
+        """
+        board = live_progress()
+        requests = []
+        for entry in list(self._requests.values()):
+            item = dict(entry)
+            snap = board.get(item["request_id"])
+            if snap:
+                total = snap.get("total") or 0
+                done = snap.get("done", 0)
+                item["progress"] = {
+                    "label": snap.get("label"),
+                    "done": done,
+                    "total": total,
+                    "pct": round(100.0 * done / total, 1) if total else None,
+                    "shards_done": snap.get("items_done"),
+                    "shards_total": snap.get("items_total"),
+                    "rate": snap.get("rate"),
+                    "eta_s": snap.get("eta_s"),
+                    "elapsed_s": snap.get("elapsed_s"),
+                }
+            requests.append(item)
+        requests.sort(key=lambda item: item["request_id"])
+        doc = self.health()
+        doc["requests"] = requests
+        doc["recent"] = [dict(entry) for entry in self._recent]
+        return doc
 
     # ---------------------------------------------------------------- drain
 

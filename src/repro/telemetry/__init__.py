@@ -9,7 +9,9 @@ stdlib-only machinery and **zero overhead when disabled**:
     Span-based tracing: ``with trace.span("certify.sweep", total=n):``
     context managers with monotonic timings, nested span ids, one JSON
     object per line in the sink file (JSONL).  Disabled (the default),
-    ``trace.span`` returns a shared no-op object.
+    ``trace.span`` returns a shared no-op object.  ``trace.bind``
+    attaches per-request correlation fields (``request_id``) that stamp
+    every record written by the bound thread and its pool workers.
 
 :mod:`repro.telemetry.metrics`
     A process-local registry of counters, gauges and histograms with
@@ -17,40 +19,77 @@ stdlib-only machinery and **zero overhead when disabled**:
     each shard result and the supervisor folds it into the parent
     registry.  Per-(level, opcode) simulator kernel timings hang off the
     same registry behind :func:`~repro.telemetry.metrics.kernel_timings_enabled`.
+    :func:`~repro.telemetry.metrics.render_prometheus` renders any
+    snapshot as Prometheus text exposition for the service's
+    ``/metrics`` endpoint.
 
 :mod:`repro.telemetry.progress`
-    Shard-granular progress with throughput and ETA, rendered as a live
-    single status line on a TTY (``REPRO_PROGRESS=0`` disables, ``=1``
-    forces) and mirrored as ``progress`` events into the trace.
+    Shard-granular progress with throughput and ETA, rendered live on an
+    interactive TTY and as one plain summary line everywhere else
+    (``REPRO_PROGRESS=0`` disables, ``=1`` forces; ``NO_COLOR``
+    downgrades to plain), mirrored as ``progress`` events into the
+    trace, and published to a request-keyed live board that the service
+    daemon's ``GET /status`` reads.
 
 :mod:`repro.telemetry.manifest`
     The run manifest: backend, worker count, seed, git revision,
-    python/numpy versions — attached to campaign checkpoints,
-    certificates and every ``benchmarks/out/BENCH_*.json``.
+    python/numpy versions, hostname and CPU model — attached to campaign
+    checkpoints, certificates and every ``benchmarks/out/BENCH_*.json``.
 
 :mod:`repro.telemetry.stats`
-    Offline summarisation of a recorded trace (``repro stats FILE``):
-    top spans by wall time, retry counts, throughput.
+    Offline summarisation of a recorded trace (``repro stats FILE``) and
+    per-request deep dives (``repro trace analyze FILE --request ID``):
+    span tree, critical path, per-phase and per-shard breakdowns.
+
+:mod:`repro.telemetry.history`
+    The benchmark-history ledger and perf-regression sentinel behind
+    ``repro bench history`` / ``repro bench check``: every
+    ``bench_report`` emission appends one JSONL line; the check compares
+    each series' newest run against a rolling median ± MAD noise band.
 """
 
-from repro.telemetry.manifest import run_manifest
+from repro.telemetry.history import (
+    append_entry,
+    check as bench_check,
+    config_digest,
+    load_history,
+    resolve_history_path,
+)
+from repro.telemetry.manifest import cpu_model, run_manifest
 from repro.telemetry.metrics import (
     MetricsRegistry,
     enable_kernel_timings,
     kernel_timings_enabled,
     metrics,
+    render_prometheus,
 )
-from repro.telemetry.progress import ProgressTracker, eta_seconds
+from repro.telemetry.progress import (
+    ProgressTracker,
+    clear_live,
+    eta_seconds,
+    live_progress,
+    publish_live,
+)
 from repro.telemetry.trace import Tracer, trace
 
 __all__ = [
     "MetricsRegistry",
     "ProgressTracker",
     "Tracer",
+    "append_entry",
+    "bench_check",
+    "clear_live",
+    "config_digest",
+    "cpu_model",
     "enable_kernel_timings",
     "eta_seconds",
     "kernel_timings_enabled",
+    "live_progress",
+    "load_history",
     "metrics",
+    "publish_live",
+    "render_prometheus",
+    "resolve_history_path",
     "run_manifest",
     "trace",
 ]

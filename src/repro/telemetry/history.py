@@ -1,0 +1,269 @@
+"""Benchmark history: an append-only JSONL ledger + regression sentinel.
+
+``BENCH_*.json`` floors catch cliffs; they are blind to slow drift.  This
+module keeps every :func:`bench_report` emission as one line of an
+append-only JSONL file (``benchmarks/out/bench_history.jsonl`` by
+default, ``REPRO_BENCH_HISTORY`` overrides), keyed by benchmark name +
+a digest of its config + the run manifest's git rev/host/CPU, and checks
+the newest run of each (benchmark, config) series against a rolling
+robust baseline: median ± a noise band of ``max(sigmas·1.4826·MAD,
+tolerance·|median|)`` over the previous ``window`` runs.  MAD-based
+bands ignore outliers a mean/stddev would chase; the tolerance floor
+keeps near-zero-variance series from flagging measurement jitter.
+
+Metric direction is inferred from the name: throughputs/speedups/rates
+regress *down*, times/latencies/overheads regress *up*; anything
+ambiguous is skipped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import statistics
+from pathlib import Path
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "append_entry",
+    "check",
+    "config_digest",
+    "flatten_metrics",
+    "load_history",
+    "metric_direction",
+    "render_check",
+    "render_history",
+    "resolve_history_path",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: MAD → stddev for normally distributed noise
+_MAD_SCALE = 1.4826
+
+_HIGHER_BETTER = (
+    "speedup", "throughput", "rate", "per_second", "per_s", "_ops",
+    "runs_per", "over_",
+)
+_LOWER_BETTER = (
+    "seconds", "latency", "_time", "time_", "duration", "overhead",
+    "_s", "_ns", "_ms", "_us",
+)
+
+
+def resolve_history_path(default_dir=None) -> Path:
+    """Where the ledger lives: ``REPRO_BENCH_HISTORY`` wins, else
+    ``<default_dir or benchmarks/out>/bench_history.jsonl``."""
+    env = os.environ.get("REPRO_BENCH_HISTORY")
+    if env:
+        return Path(env)
+    if default_dir is None:
+        default_dir = Path("benchmarks") / "out"
+    return Path(default_dir) / "bench_history.jsonl"
+
+
+def config_digest(config: dict) -> str:
+    """Stable short digest of a benchmark config (series key component)."""
+    canon = json.dumps(config or {}, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+
+def flatten_metrics(metrics: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten nested metric dicts to dotted scalar keys.
+
+    Only real numbers survive — bools, strings, lists (sweep tables) are
+    configuration/evidence, not trendable series.
+    """
+    out: dict[str, float] = {}
+    for key, value in (metrics or {}).items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            out[dotted] = float(value)
+        elif isinstance(value, dict):
+            out.update(flatten_metrics(value, prefix=f"{dotted}."))
+    return out
+
+
+def append_entry(path, report: dict) -> dict:
+    """Append one ``bench_report`` document to the ledger; returns the entry."""
+    manifest = report.get("manifest") or {}
+    config = report.get("config") or {}
+    entry = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "name": report.get("name", "?"),
+        "config": config,
+        "config_digest": config_digest(config),
+        "metrics": flatten_metrics(report.get("metrics") or {}),
+        "timestamp": manifest.get("timestamp"),
+        "git_rev": manifest.get("git_rev"),
+        "hostname": manifest.get("hostname"),
+        "cpu": manifest.get("cpu"),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path) -> list[dict]:
+    """Parse the ledger, oldest first; tolerant of a missing file."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def metric_direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 unknown (skip)."""
+    lname = name.lower()
+    for marker in _HIGHER_BETTER:
+        if marker in lname:
+            return 1
+    for marker in _LOWER_BETTER:
+        if marker in lname:
+            return -1
+    return 0
+
+
+def check(
+    history: list[dict],
+    *,
+    tolerance: float = 0.10,
+    window: int = 8,
+    min_samples: int = 3,
+    sigmas: float = 3.0,
+) -> dict:
+    """Compare each series' newest run against its rolling robust baseline.
+
+    A series is one (benchmark name, config digest, metric) triple.  The
+    newest entry of each (name, digest) pair is judged against the
+    median of up to ``window`` *previous* runs; series with fewer than
+    ``min_samples`` baseline points pass vacuously (not enough history
+    to know what normal looks like).
+    """
+    series: dict[tuple[str, str], list[dict]] = {}
+    for entry in history:
+        key = (entry.get("name", "?"), entry.get("config_digest", "?"))
+        series.setdefault(key, []).append(entry)
+
+    results: list[dict] = []
+    for (name, digest), entries in sorted(series.items()):
+        newest = entries[-1]
+        baseline_entries = entries[:-1][-window:]
+        for metric, value in sorted((newest.get("metrics") or {}).items()):
+            direction = metric_direction(metric)
+            if direction == 0:
+                continue
+            samples = [
+                e["metrics"][metric]
+                for e in baseline_entries
+                if isinstance((e.get("metrics") or {}).get(metric), (int, float))
+            ]
+            result = {
+                "benchmark": name,
+                "config_digest": digest,
+                "metric": metric,
+                "value": value,
+                "direction": "higher" if direction > 0 else "lower",
+                "samples": len(samples),
+                "git_rev": newest.get("git_rev"),
+            }
+            if len(samples) < min_samples:
+                result["status"] = "no-baseline"
+                results.append(result)
+                continue
+            median = statistics.median(samples)
+            mad = statistics.median(abs(s - median) for s in samples)
+            band = max(sigmas * _MAD_SCALE * mad, tolerance * abs(median))
+            result["median"] = round(median, 9)
+            result["band"] = round(band, 9)
+            regressed = (
+                value < median - band if direction > 0 else value > median + band
+            )
+            result["status"] = "regression" if regressed else "ok"
+            if median:
+                result["delta_pct"] = round(100.0 * (value - median) / median, 2)
+            results.append(result)
+
+    regressions = [r for r in results if r["status"] == "regression"]
+    return {
+        "checked": len(results),
+        "series": len(series),
+        "regressions": len(regressions),
+        "results": results,
+        "params": {
+            "tolerance": tolerance,
+            "window": window,
+            "min_samples": min_samples,
+            "sigmas": sigmas,
+        },
+    }
+
+
+def render_history(history: list[dict]) -> str:
+    """One line per run, grouped by (benchmark, config) series."""
+    if not history:
+        return "bench history: empty"
+    lines = [f"bench history: {len(history)} run(s)"]
+    series: dict[tuple[str, str], list[dict]] = {}
+    for entry in history:
+        key = (entry.get("name", "?"), entry.get("config_digest", "?"))
+        series.setdefault(key, []).append(entry)
+    for (name, digest), entries in sorted(series.items()):
+        lines.append(f"  {name} [{digest}]: {len(entries)} run(s)")
+        for entry in entries[-5:]:
+            rev = (entry.get("git_rev") or "?")[:10]
+            metrics = entry.get("metrics") or {}
+            shown = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(metrics.items())[:4]
+            )
+            more = f" (+{len(metrics) - 4} more)" if len(metrics) > 4 else ""
+            lines.append(
+                f"    {entry.get('timestamp', '?')} {rev} {shown}{more}"
+            )
+    return "\n".join(lines)
+
+
+def render_check(report: dict) -> str:
+    """Human-readable verdict of :func:`check`'s output."""
+    lines = [
+        f"bench check: {report['checked']} metric(s) across "
+        f"{report['series']} series — {report['regressions']} regression(s)"
+    ]
+    for result in report["results"]:
+        status = result["status"]
+        if status == "no-baseline":
+            lines.append(
+                f"  SKIP {result['benchmark']}:{result['metric']} "
+                f"({result['samples']} baseline sample(s), need "
+                f"{report['params']['min_samples']})"
+            )
+            continue
+        mark = "FAIL" if status == "regression" else "  ok"
+        delta = (
+            f" ({result['delta_pct']:+.1f}% vs median {result['median']:g}"
+            f" ± {result['band']:g})"
+            if "median" in result
+            else ""
+        )
+        lines.append(
+            f"  {mark} {result['benchmark']}:{result['metric']} = "
+            f"{result['value']:g}{delta} [{result['direction']}-is-better]"
+        )
+    return "\n".join(lines)

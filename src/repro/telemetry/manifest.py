@@ -20,9 +20,33 @@ import platform
 import subprocess
 import time
 
-__all__ = ["MANIFEST_SCHEMA_VERSION", "git_revision", "run_manifest"]
+__all__ = ["MANIFEST_SCHEMA_VERSION", "cpu_model", "git_revision", "run_manifest"]
 
 MANIFEST_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def cpu_model() -> str | None:
+    """Human-readable CPU model, or None when undiscoverable.
+
+    ``platform.processor()`` is empty on most Linux builds, so fall back
+    to the first ``model name`` line of ``/proc/cpuinfo`` — bench-history
+    series are only comparable when the host silicon is recorded.
+    """
+    name = platform.processor()
+    if name:
+        return name
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    _, _, value = line.partition(":")
+                    value = value.strip()
+                    if value:
+                        return value
+    except OSError:
+        pass
+    return None
 
 
 @functools.lru_cache(maxsize=1)
@@ -56,6 +80,8 @@ def run_manifest(**extra) -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "hostname": platform.node(),
+        "cpu": cpu_model(),
         "pid": os.getpid(),
         "git_rev": git_revision(),
     }

@@ -18,6 +18,7 @@ histograms combine their (count, total, min, max) moments.
 from __future__ import annotations
 
 import os
+import re
 import threading
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "enable_kernel_timings",
     "kernel_timings_enabled",
     "metrics",
+    "render_prometheus",
 ]
 
 
@@ -169,6 +171,55 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    name = _PROM_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Exposition format version 0.0.4: counters get a ``_total`` suffix,
+    histograms expose their streaming moments as ``_count`` / ``_sum`` /
+    ``_min`` / ``_max`` (fixed-memory histograms carry no buckets, so
+    the moments are exported as a summary-style family).
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name)
+        if not prom.endswith("_total"):
+            prom += "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, doc in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f"{prom}_count {_prom_value(doc.get('count', 0))}")
+        lines.append(f"{prom}_sum {_prom_value(doc.get('total', 0.0))}")
+        lines.append(f"{prom}_min {_prom_value(doc.get('min'))}")
+        lines.append(f"{prom}_max {_prom_value(doc.get('max'))}")
+    return "\n".join(lines) + "\n" if lines else "\n"
 
 
 #: the process-wide registry

@@ -30,6 +30,19 @@ in-memory buffer (:meth:`Tracer.capture`) and ship the records back with
 their shard results; the supervisor writes them with
 :meth:`Tracer.ingest`, so a multi-process run still yields one coherent
 trace file.
+
+Request correlation.  :meth:`Tracer.bind` attaches correlation fields
+(``request_id=...``) to the *current thread*; every record written while
+the binding is active carries them top-level (``record["request_id"]``),
+including records :meth:`Tracer.ingest`-ed from workers in that thread.
+Binding works even while the tracer is disabled, so a service can bind
+once per campaign thread and let any later ``capture()``/``configure()``
+see the context.  Records created on threads that cannot hold a binding
+across awaits (an asyncio event loop) promote an explicit
+``attrs["request_id"]`` to the top level instead.  :meth:`Tracer.adopt`
+parents a thread's spans under a span opened on another thread, so a
+request's spans reconstruct into one tree across the service's
+loop-thread → campaign-thread handoff.
 """
 
 from __future__ import annotations
@@ -42,6 +55,9 @@ from contextlib import contextmanager
 from pathlib import Path
 
 __all__ = ["NULL_SPAN", "Span", "Tracer", "trace"]
+
+#: sentinel distinguishing "key absent" from "key bound to None" in bind()
+_MISSING = object()
 
 
 class _NullSpan:
@@ -149,12 +165,25 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _ctx(self) -> dict:
+        ctx = getattr(self._local, "ctx", None)
+        if ctx is None:
+            ctx = self._local.ctx = {}
+        return ctx
+
     def _new_id(self) -> str:
         with self._lock:
             self._counter += 1
             return f"{os.getpid()}:{self._counter}"
 
     def _write(self, record: dict) -> None:
+        attrs = record.get("attrs")
+        if attrs and "request_id" in attrs:
+            record.setdefault("request_id", attrs["request_id"])
+        ctx = getattr(self._local, "ctx", None)
+        if ctx:
+            for key, value in ctx.items():
+                record.setdefault(key, value)
         with self._lock:
             if self._buffer is not None:
                 self._buffer.append(record)
@@ -189,6 +218,57 @@ class Tracer:
             self._path = None
             if self._buffer is None:
                 self.enabled = False
+
+    # ------------------------------------------------------------- context
+
+    def context(self) -> dict:
+        """A copy of the calling thread's bound correlation fields."""
+        return dict(self._ctx())
+
+    @contextmanager
+    def bind(self, **ctx):
+        """Attach correlation fields to every record this thread writes.
+
+        ``None`` values are ignored.  Bindings nest (inner values shadow
+        outer ones for the duration) and work while the tracer is
+        disabled, so a service can bind per-request context
+        unconditionally and any later ``capture()`` sees it.
+        """
+        ctx = {k: v for k, v in ctx.items() if v is not None}
+        if not ctx:
+            yield
+            return
+        store = self._ctx()
+        saved = {k: store.get(k, _MISSING) for k in ctx}
+        store.update(ctx)
+        try:
+            yield
+        finally:
+            for key, prev in saved.items():
+                if prev is _MISSING:
+                    store.pop(key, None)
+                else:
+                    store[key] = prev
+
+    @contextmanager
+    def adopt(self, span_id):
+        """Parent this thread's spans under a span from another thread.
+
+        Pushes ``span_id`` onto the calling thread's span stack so the
+        next span opened here records it as ``parent_id`` — the piece
+        that keeps a request's tree connected across a loop-thread →
+        worker-thread handoff.  ``None`` is a no-op.
+        """
+        if span_id is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(span_id)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] == span_id:
+                stack.pop()
 
     # ----------------------------------------------------------- recording
 

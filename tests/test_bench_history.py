@@ -1,0 +1,257 @@
+"""The benchmark-history ledger and the perf-regression sentinel.
+
+Exercises the append/load round trip, series keying by config digest,
+the median±MAD robust baseline (a synthetic ≥20% throughput regression
+must fail, stable noise must pass), direction inference, and the
+``repro bench history`` / ``repro bench check`` CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.history import (
+    append_entry,
+    check,
+    config_digest,
+    flatten_metrics,
+    load_history,
+    metric_direction,
+    render_check,
+    render_history,
+    resolve_history_path,
+)
+
+
+def _report(value: float, *, name="simulator", metric="speedup_at_4096",
+            config=None, rev="abc123"):
+    return {
+        "name": name,
+        "config": config if config is not None else {"batch": 4096},
+        "metrics": {metric: value},
+        "manifest": {
+            "timestamp": "2026-08-09T00:00:00Z",
+            "git_rev": rev,
+            "hostname": "host-a",
+            "cpu": "TestCPU 3000",
+        },
+    }
+
+
+class TestLedger:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        entry = append_entry(path, _report(6.5))
+        append_entry(path, _report(6.6))
+        history = load_history(path)
+        assert len(history) == 2
+        assert history[0]["name"] == "simulator"
+        assert history[0]["metrics"] == {"speedup_at_4096": 6.5}
+        assert history[0]["git_rev"] == "abc123"
+        assert history[0]["hostname"] == "host-a"
+        assert history[0]["cpu"] == "TestCPU 3000"
+        assert history[0]["config_digest"] == entry["config_digest"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_history(path)
+
+    def test_config_digest_is_stable_and_order_insensitive(self):
+        a = config_digest({"batch": 4096, "backend": "compiled"})
+        b = config_digest({"backend": "compiled", "batch": 4096})
+        assert a == b and len(a) == 12
+        assert config_digest({"batch": 2048}) != a
+
+    def test_flatten_metrics_nested_scalars_only(self):
+        flat = flatten_metrics({
+            "speedups_at_4096": {"compiled_over_levelized": 2.58},
+            "runs_per_second": 1e5,
+            "sweep": [1, 2, 3],       # tables are evidence, not series
+            "passed": True,           # bools are not trendable
+            "label": "x",             # neither are strings
+        })
+        assert flat == {
+            "speedups_at_4096.compiled_over_levelized": 2.58,
+            "runs_per_second": 1e5,
+        }
+
+    def test_resolve_history_path_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(tmp_path / "h.jsonl"))
+        assert resolve_history_path() == tmp_path / "h.jsonl"
+        monkeypatch.delenv("REPRO_BENCH_HISTORY")
+        assert resolve_history_path(tmp_path).name == "bench_history.jsonl"
+
+
+class TestDirection:
+    def test_inference(self):
+        assert metric_direction("speedup_at_4096") == 1
+        assert metric_direction("runs_per_second") == 1
+        assert metric_direction("throughput") == 1
+        assert metric_direction("speedups_at_4096.compiled_over_levelized") == 1
+        assert metric_direction("shard_latency_s") == -1
+        assert metric_direction("overhead_pct") == -1
+        assert metric_direction("total_ge") == 0  # ambiguous: skipped
+
+
+class TestSentinel:
+    def _history(self, values, **kw):
+        return [
+            {
+                "name": "simulator",
+                "config_digest": "d" * 12,
+                "metrics": {"speedup": v},
+                "git_rev": f"rev{i}",
+                **kw,
+            }
+            for i, v in enumerate(values)
+        ]
+
+    def test_stable_series_passes(self):
+        report = check(self._history([6.5, 6.6, 6.4, 6.55, 6.5]))
+        assert report["regressions"] == 0
+        (result,) = [r for r in report["results"] if r["status"] != "no-baseline"]
+        assert result["status"] == "ok"
+
+    def test_twenty_percent_drop_fails_higher_is_better(self):
+        report = check(self._history([6.5, 6.6, 6.4, 6.55, 6.5 * 0.8]))
+        assert report["regressions"] == 1
+        (bad,) = [r for r in report["results"] if r["status"] == "regression"]
+        assert bad["metric"] == "speedup"
+        assert bad["delta_pct"] < -15
+
+    def test_twenty_percent_rise_fails_lower_is_better(self):
+        history = [
+            {
+                "name": "bench",
+                "config_digest": "e" * 12,
+                "metrics": {"shard_latency_s": v},
+            }
+            for v in [1.0, 1.02, 0.98, 1.0, 1.25]
+        ]
+        report = check(history)
+        assert report["regressions"] == 1
+
+    def test_improvement_is_not_a_regression(self):
+        report = check(self._history([6.5, 6.6, 6.4, 6.55, 9.0]))
+        assert report["regressions"] == 0
+
+    def test_too_little_history_passes_vacuously(self):
+        report = check(self._history([6.5, 6.6]))
+        assert report["regressions"] == 0
+        assert all(r["status"] == "no-baseline" for r in report["results"])
+
+    def test_min_samples_knob(self):
+        report = check(self._history([6.5, 6.5 * 0.7]), min_samples=1)
+        assert report["regressions"] == 1
+
+    def test_mad_band_absorbs_a_noisy_series(self):
+        # ±15% swings are this series' normal; 6.0 is within 3·MAD
+        report = check(self._history([6.0, 7.8, 5.9, 7.6, 6.1, 7.7, 6.0]))
+        assert report["regressions"] == 0
+
+    def test_series_are_isolated_by_config_digest(self):
+        history = self._history([6.5, 6.5, 6.5, 6.5])
+        other = [
+            {
+                "name": "simulator",
+                "config_digest": "f" * 12,
+                "metrics": {"speedup": v},
+            }
+            for v in [2.0, 2.0, 2.0, 1.0]
+        ]
+        report = check(history + other)
+        assert report["series"] == 2
+        assert report["regressions"] == 1  # only the second series regressed
+
+    def test_ambiguous_metrics_are_skipped(self):
+        history = [
+            {"name": "b", "config_digest": "a" * 12, "metrics": {"total_ge": v}}
+            for v in [100.0, 100.0, 100.0, 250.0]
+        ]
+        report = check(history)
+        assert report["checked"] == 0 and report["regressions"] == 0
+
+    def test_render_check_names_the_regression(self):
+        report = check(self._history([6.5, 6.6, 6.4, 6.55, 4.0]))
+        text = render_check(report)
+        assert "1 regression" in text
+        assert "FAIL simulator:speedup" in text
+
+    def test_render_history_lists_series(self):
+        history = self._history([6.5, 6.6], timestamp="2026-08-09T00:00:00Z")
+        text = render_history(history)
+        assert "2 run(s)" in text and "simulator" in text
+
+
+class TestCli:
+    def _seed(self, path, values):
+        for v in values:
+            append_entry(path, _report(v))
+
+    def test_bench_history_lists_the_ledger(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        self._seed(path, [6.5, 6.6])
+        assert main(["bench", "history", "--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out and "simulator" in out
+
+    def test_bench_history_import_dir_backfills(self, tmp_path, capsys):
+        report_dir = tmp_path / "out"
+        report_dir.mkdir()
+        (report_dir / "BENCH_simulator.json").write_text(
+            json.dumps(_report(6.5))
+        )
+        path = tmp_path / "h.jsonl"
+        assert main([
+            "bench", "history", "--history", str(path),
+            "--import-dir", str(report_dir),
+        ]) == 0
+        assert len(load_history(path)) == 1
+
+    def test_bench_check_passes_on_stable_history(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        self._seed(path, [6.5, 6.6, 6.4, 6.55, 6.5])
+        assert main(["bench", "check", "--history", str(path)]) == 0
+
+    def test_bench_check_fails_on_injected_regression(self, tmp_path, capsys):
+        """The acceptance criterion: a synthetic ≥20% throughput drop
+        must exit nonzero."""
+        path = tmp_path / "h.jsonl"
+        self._seed(path, [6.5, 6.6, 6.4, 6.55, 6.5 * 0.8])
+        assert main(["bench", "check", "--history", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_check_empty_history_passes(self, tmp_path, capsys):
+        assert main(["bench", "check", "--history", str(tmp_path / "h.jsonl")]) == 0
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_bench_report_appends_to_the_ledger(self, tmp_path, monkeypatch):
+        """benchmarks/conftest.bench_report feeds the sentinel automatically."""
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest",
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "conftest.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        ledger = tmp_path / "h.jsonl"
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(ledger))
+        module.bench_report(
+            tmp_path, "unit", config={"batch": 16}, metrics={"speedup": 4.2}
+        )
+        (entry,) = load_history(ledger)
+        assert entry["name"] == "unit"
+        assert entry["metrics"] == {"speedup": 4.2}
+        assert entry["git_rev"]  # manifest fields propagated
+        assert (tmp_path / "BENCH_unit.json").exists()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -590,6 +591,144 @@ class TestDrain:
         # and the index it persisted is immediately usable
         recovered = ResultStore(store_dir)
         assert len(recovered.entries) == 1
+
+
+# ------------------------------------------- observability surface (ISSUE 10)
+
+
+class TestHttpSurface:
+    def test_healthz_reports_counters_queue_and_store(self, tmp_path, direct_cert):
+        with running(
+            tmp_path / "store",
+            certify=lambda design, *, key, config: direct_cert,
+        ) as (service, client):
+            client.submit(TINY)
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["counters"]["requests"] == 1
+        assert health["counters"]["campaigns_started"] == 1
+        assert health["store"]["entries"] == 1
+        assert "queue_depth" in health and "breaker" in health
+
+    def test_metrics_negotiates_json_and_prometheus(self, tmp_path, direct_cert):
+        with running(
+            tmp_path / "store",
+            certify=lambda design, *, key, config: direct_cert,
+        ) as (service, client):
+            client.submit(TINY)
+            snapshot = client.metrics()
+            text = client.metrics_text()
+        # default is the JSON snapshot...
+        assert snapshot["counters"]["service.requests"] >= 1
+        # ...and `Accept: text/plain` switches to Prometheus exposition
+        assert "# TYPE service_requests_total counter" in text
+        assert re.search(r"^service_requests_total \d+", text, re.M)
+        assert text.endswith("\n")
+
+    def test_unknown_paths_are_structured_404s(self, tmp_path):
+        with running(tmp_path / "store") as (service, client):
+            status, doc, _ = client._request("GET", "/nope")
+            assert status == 404 and doc["status"] == "not_found"
+            assert doc["path"] == "/nope"
+            status, doc, _ = client._request("GET", "/certificate/deadbeef")
+            assert status == 404 and doc["status"] == "not_found"
+            assert doc["key"] == "deadbeef"
+
+    def test_every_response_carries_the_server_assigned_request_id(
+        self, tmp_path, direct_cert
+    ):
+        with running(
+            tmp_path / "store",
+            certify=lambda design, *, key, config: direct_cert,
+        ) as (service, client):
+            status, first = client.submit(TINY)
+            assert status == 200 and first["request_id"] == "req-000001"
+            status, second = client.submit(TINY)  # store dedupe hit
+            assert status == 200 and second["request_id"] == "req-000002"
+            status, bad = client.submit({**TINY, "scheme": "rot13"})
+            assert status == 400 and bad["request_id"] == "req-000003"
+
+    def test_status_tracks_a_request_through_its_lifecycle(
+        self, tmp_path, direct_cert
+    ):
+        release = threading.Event()
+        with running(
+            tmp_path / "store",
+            certify=_blocking_certify(release, direct_cert),
+            concurrency=1,
+        ) as (service, client):
+            thread = threading.Thread(
+                target=self._swallow, args=(client, TINY)
+            )
+            thread.start()
+            assert _wait(lambda: client.health()["in_flight"] == 1)
+
+            st = client.status()
+            (item,) = st["requests"]
+            assert item["request_id"] == "req-000001"
+            assert item["state"] == "running"
+            assert item["key"] and item["scheme"] == "three-in-one"
+            assert st["recent"] == []
+
+            release.set()
+            thread.join(15)
+            assert _wait(lambda: not client.status()["requests"])
+            st = client.status()
+            (done,) = st["recent"]
+            assert done["request_id"] == "req-000001"
+            assert done["state"] == "done"
+            assert done["finished_t"] >= done["queued_t"]
+
+    @staticmethod
+    def _swallow(client, request):
+        with contextlib.suppress(Exception):
+            client.submit(request)
+
+
+class TestNoWaitSubmit:
+    def test_no_wait_shows_live_shard_progress_then_a_certificate(
+        self, tmp_path
+    ):
+        """The acceptance criterion: `submit --no-wait` is acknowledged
+        with 202 + request id; while the campaign runs, GET /status shows
+        that request with nonzero shard-level progress and an ETA; the
+        certificate is then fetchable by key."""
+        request = {**TINY, "budget": 4096, "runs_per_location": 8}
+        with running(tmp_path / "store", concurrency=1) as (service, client):
+            status, doc = client.submit(request, wait=False)
+            assert status == 202 and doc["status"] == "accepted"
+            rid, key = doc["request_id"], doc["key"]
+            assert rid.startswith("req-") and len(key) == 64
+
+            seen = {}
+
+            def midflight():
+                for item in client.status()["requests"]:
+                    progress = item.get("progress")
+                    if (
+                        item["request_id"] == rid
+                        and progress
+                        and 0 < progress["done"] < progress["total"]
+                        and progress["eta_s"] is not None
+                    ):
+                        seen.update(item)
+                        return True
+                return False
+
+            assert _wait(midflight, timeout=30), "no mid-flight progress seen"
+            assert seen["state"] == "running"
+            assert 0 < seen["progress"]["pct"] < 100
+            assert seen["progress"]["shards_total"] > 1
+
+            assert _wait(
+                lambda: client.certificate(key) is not None, timeout=60
+            )
+            st = client.status()
+            assert st["requests"] == []  # registry drained to recents
+            assert st["recent"][0]["request_id"] == rid
+            assert st["recent"][0]["state"] == "done"
+            served = client.certificate(key)
+            assert served["cached"] == "store" and not served["degraded"]
 
 
 # ------------------------------------------------------------- chaos at the

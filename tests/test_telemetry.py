@@ -22,12 +22,22 @@ from repro.telemetry import (
     MetricsRegistry,
     ProgressTracker,
     eta_seconds,
+    live_progress,
     metrics,
+    render_prometheus,
     run_manifest,
     trace,
 )
-from repro.telemetry.manifest import MANIFEST_SCHEMA_VERSION
-from repro.telemetry.stats import TraceError, load_trace, render_stats, summarize
+from repro.telemetry.manifest import MANIFEST_SCHEMA_VERSION, cpu_model
+from repro.telemetry.stats import (
+    TraceError,
+    analyze_request,
+    load_trace,
+    render_analysis,
+    render_stats,
+    request_ids,
+    summarize,
+)
 from repro.telemetry.trace import NULL_SPAN
 from tests.conftest import TEST_KEY80
 
@@ -132,6 +142,84 @@ class TestTracing:
             load_trace(tmp_path / "missing.jsonl")
 
 
+# -------------------------------------------------------- request correlation
+
+
+class TestRequestContext:
+    def test_bind_works_while_disabled_and_restores(self):
+        assert not trace.enabled
+        assert trace.context() == {}
+        with trace.bind(request_id="req-1", tenant="a"):
+            assert trace.context() == {"request_id": "req-1", "tenant": "a"}
+            with trace.bind(request_id="req-2"):
+                assert trace.context()["request_id"] == "req-2"
+            assert trace.context()["request_id"] == "req-1"
+        assert trace.context() == {}
+
+    def test_bind_filters_none_values(self):
+        with trace.bind(request_id=None):
+            assert trace.context() == {}
+
+    def test_bound_context_stamps_all_record_types(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.bind(request_id="req-7"):
+            with trace.span("work"):
+                trace.event("tick")
+        trace.close()
+        records = load_trace(path)
+        stamped = [r for r in records if r["type"] in ("span", "event")]
+        assert stamped and all(r["request_id"] == "req-7" for r in stamped)
+
+    def test_explicit_attr_wins_over_thread_binding(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.bind(request_id="ambient"):
+            with trace.span("campaign", request_id="req-42"):
+                pass
+        trace.close()
+        (span,) = load_trace(path)
+        assert span["request_id"] == "req-42"
+
+    def test_capture_inside_bind_ships_stamped_records(self, tmp_path):
+        """The worker-process pattern: bind ctx, capture, ingest at home."""
+        with trace.bind(request_id="req-9"):
+            with trace.capture() as records:
+                with trace.span("executor.shard", shard=0):
+                    pass
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        trace.ingest(records)
+        trace.close()
+        (span,) = load_trace(path)
+        assert span["request_id"] == "req-9"
+
+    def test_adopt_parents_spans_across_threads(self, tmp_path):
+        import threading
+
+        path = tmp_path / "t.jsonl"
+        trace.configure(path)
+        with trace.span("service.campaign") as outer:
+            parent_id = outer.span_id
+
+            def worker():
+                with trace.adopt(parent_id):
+                    with trace.span("certify.sweep"):
+                        pass
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        trace.close()
+        spans = {r["name"]: r for r in load_trace(path)}
+        assert spans["certify.sweep"]["parent_id"] == parent_id
+        assert spans["service.campaign"]["parent_id"] is None
+
+    def test_adopt_none_is_noop(self):
+        with trace.adopt(None):
+            pass  # disabled tracer path: must not raise
+
+
 # ------------------------------------------------------------------ metrics
 
 
@@ -186,6 +274,30 @@ class TestMetrics:
         reg.observe("c", 1)
         reg.reset()
         assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_render_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.inc("service.requests", 5)
+        reg.set("executor.runs_per_second", 123.5)
+        reg.observe("shard.dur_s", 0.25)
+        reg.observe("shard.dur_s", 0.75)
+        text = render_prometheus(reg.snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE service_requests_total counter" in text
+        assert "service_requests_total 5" in text
+        assert "# TYPE executor_runs_per_second gauge" in text
+        assert "executor_runs_per_second 123.5" in text
+        assert "shard_dur_s_count 2" in text
+        assert "shard_dur_s_sum 1.0" in text
+        assert "shard_dur_s_min 0.25" in text
+        assert "shard_dur_s_max 0.75" in text
+        # every sample line uses a sanitized name
+        for line in text.splitlines():
+            name = line.split(" ")[2 if line.startswith("#") else 0]
+            assert all(c.isalnum() or c in "_:" for c in name), line
+
+    def test_render_prometheus_empty_snapshot(self):
+        assert render_prometheus({}) == "\n"
 
 
 # ------------------------------------------------- cross-process aggregation
@@ -292,6 +404,55 @@ class TestProgress:
         tracker.finish()
         assert stream.getvalue() == ""
 
+    def test_forced_rendering_off_tty_is_plain_single_shot(self, monkeypatch):
+        """REPRO_PROGRESS=1 into a pipe must not flood CI logs with \\r."""
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        stream = io.StringIO()  # not a TTY
+        tracker = ProgressTracker(10, label="job", stream=stream, min_interval=0.0)
+        assert tracker.render is True and tracker.live is False
+        tracker.advance(5)
+        tracker.advance(5)
+        assert stream.getvalue() == ""  # nothing until finish
+        tracker.finish()
+        out = stream.getvalue()
+        assert "\r" not in out
+        assert out.count("\n") == 1
+        assert "job: 10/10" in out
+
+    def test_no_color_downgrades_a_tty_to_plain(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        monkeypatch.setenv("NO_COLOR", "1")
+
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = FakeTty()
+        tracker = ProgressTracker(4, label="job", stream=stream, min_interval=0.0)
+        assert tracker.render is True and tracker.live is False
+        tracker.advance(4)
+        tracker.finish()
+        out = stream.getvalue()
+        assert "\r" not in out and "job: 4/4" in out
+
+    def test_live_board_publishes_under_bound_request_id(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        with trace.bind(request_id="req-55"):
+            tracker = ProgressTracker(100, label="certify", total_items=4)
+            tracker.advance(25)
+        snap = live_progress("req-55")
+        assert snap and snap["done"] == 25 and snap["total"] == 100
+        assert "req-55" in live_progress()
+        tracker.finish()
+        assert live_progress("req-55") is None  # cleared on finish
+
+    def test_no_board_entry_without_request_context(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        before = set(live_progress())
+        ProgressTracker(10).advance(5)
+        assert set(live_progress()) == before
+
 
 # ----------------------------------------------------------------- manifest
 
@@ -303,6 +464,18 @@ def test_run_manifest_fields():
     for field in ("timestamp", "python", "numpy", "platform", "pid"):
         assert doc[field], field
     assert json.loads(json.dumps(doc)) == doc  # JSON-safe
+
+
+def test_run_manifest_identifies_the_host():
+    """Bench-history series are keyed per machine: hostname + CPU model."""
+    doc = run_manifest()
+    assert "hostname" in doc and "cpu" in doc
+    assert doc["hostname"]  # platform.node() is non-empty on real systems
+    model = cpu_model()
+    assert doc["cpu"] == model
+    if model is not None:
+        assert isinstance(model, str) and model.strip() == model
+    assert json.loads(json.dumps(doc)) == doc  # round-trips through JSON
 
 
 # -------------------------------------------------------------- repro stats
@@ -374,3 +547,121 @@ class TestStats:
         assert records[0]["command"] == "table2"
         assert records[-1]["type"] == "metrics"
         assert not trace.enabled  # main() closed the tracer
+
+    def test_cli_runs_are_stamped_with_a_synthetic_request_id(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        assert main(["fig4", "--runs", "128", "--trace", str(path)]) == 0
+        records = load_trace(path)
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans
+        rid = spans[0]["request_id"]
+        assert rid.startswith("cli-") and rid.endswith("-fig4")
+        assert all(s["request_id"] == rid for s in spans)
+        # ...which makes any CLI trace analyzable by request id
+        assert main(["trace", "analyze", str(path)]) == 0
+        assert f"request {rid}" in capsys.readouterr().out
+
+
+# ------------------------------------------------------- repro trace analyze
+
+
+@pytest.fixture
+def correlated_trace(tmp_path):
+    """Two interleaved requests recorded through the real tracer, with the
+    daemon's cross-thread adopt pattern for the first."""
+    import threading
+
+    path = tmp_path / "svc.jsonl"
+    trace.configure(path, manifest=run_manifest(kind="test"))
+    with trace.span("service.campaign", request_id="req-000001") as campaign:
+        parent = campaign.span_id
+
+        def campaign_thread():
+            with trace.bind(request_id="req-000001"), trace.adopt(parent):
+                with trace.span("certify.sweep"):
+                    for shard in range(3):
+                        with trace.span(
+                            "executor.shard",
+                            shard=shard, lo=shard * 8, hi=shard * 8 + 8, attempt=1,
+                        ):
+                            pass
+                trace.event(
+                    "progress", label="certify", done=24, total=24, rate=80.0
+                )
+
+        t = threading.Thread(target=campaign_thread)
+        t.start()
+        t.join()
+    with trace.bind(request_id="req-000002"):
+        with trace.span("service.campaign"):
+            pass
+    trace.close()
+    return path
+
+
+class TestTraceAnalyze:
+    def test_request_ids_indexes_the_trace(self, correlated_trace):
+        ids = request_ids(load_trace(correlated_trace))
+        assert set(ids) == {"req-000001", "req-000002"}
+        assert ids["req-000001"]["spans"] == 5
+        assert "executor.shard" in ids["req-000001"]["names"]
+
+    def test_analyze_reconstructs_one_tree_with_critical_path(
+        self, correlated_trace
+    ):
+        analysis = analyze_request(load_trace(correlated_trace), "req-000001")
+        assert analysis["spans"] == 5
+        # one root despite the thread hop: adopt() kept the tree connected
+        assert [r["name"] for r in analysis["roots"]] == ["service.campaign"]
+        path_names = [step["name"] for step in analysis["critical_path"]]
+        assert path_names[:3] == [
+            "service.campaign", "certify.sweep", "executor.shard",
+        ]
+        assert analysis["phases"]["executor.shard"]["count"] == 3
+        durations = [row["dur_s"] for row in analysis["shards"]]
+        assert durations == sorted(durations, reverse=True)  # slowest first
+        assert {row["shard"] for row in analysis["shards"]} == {0, 1, 2}
+        assert analysis["progress"]["done"] == 24
+
+    def test_analyze_isolates_requests(self, correlated_trace):
+        analysis = analyze_request(load_trace(correlated_trace), "req-000002")
+        assert analysis["spans"] == 1
+        assert analysis["shards"] == []
+
+    def test_analyze_unknown_request_raises(self, correlated_trace):
+        with pytest.raises(TraceError):
+            analyze_request(load_trace(correlated_trace), "req-999999")
+
+    def test_render_analysis_report(self, correlated_trace):
+        analysis = analyze_request(load_trace(correlated_trace), "req-000001")
+        text = render_analysis(analysis)
+        assert "request req-000001: 5 spans" in text
+        assert "critical path: service.campaign" in text
+        assert "slowest shards (of 3):" in text
+        assert "per-phase wall time:" in text
+
+    def test_cli_analyze_requires_disambiguation(self, correlated_trace, capsys):
+        assert main(["trace", "analyze", str(correlated_trace)]) == 1
+        out = capsys.readouterr().out
+        assert "req-000001" in out and "req-000002" in out
+
+    def test_cli_analyze_by_request_id(self, correlated_trace, capsys):
+        assert main(
+            ["trace", "analyze", str(correlated_trace), "--request", "req-000001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "executor.shard" in out
+
+    def test_cli_analyze_autoselects_a_single_request(self, tmp_path, capsys):
+        path = tmp_path / "one.jsonl"
+        trace.configure(path)
+        with trace.bind(request_id="req-000009"):
+            with trace.span("service.campaign"):
+                pass
+        trace.close()
+        assert main(["trace", "analyze", str(path)]) == 0
+        assert "request req-000009" in capsys.readouterr().out
+
+    def test_cli_analyze_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "analyze", str(tmp_path / "no.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
